@@ -1,0 +1,260 @@
+// Package frangipani is the public entry point of this Frangipani
+// reproduction (Thekkath, Mann & Lee, SOSP 1997): a scalable
+// distributed file system built as a thin layer over the Petal
+// distributed virtual disk, with coherence provided by a distributed
+// lock service.
+//
+// A Cluster assembles the full stack in one process on a simulated
+// network: Petal storage servers (each with simulated disks and
+// optional NVRAM), lock servers, an initialized shared virtual disk,
+// and any number of interchangeable Frangipani file servers. Servers
+// can be added at runtime with AddServer — the paper's "bricks that
+// can be stacked incrementally to build as large a file system as
+// needed".
+//
+//	cluster, _ := frangipani.NewCluster(frangipani.DefaultClusterConfig())
+//	defer cluster.Close()
+//	ws1, _ := cluster.AddServer("ws1")
+//	ws2, _ := cluster.AddServer("ws2")
+//	_ = ws1.Mkdir("/shared")
+//	// ws2 sees /shared immediately: all servers serve the same files.
+package frangipani
+
+import (
+	"fmt"
+	"time"
+
+	"frangipani/internal/fs"
+	"frangipani/internal/lockservice"
+	"frangipani/internal/petal"
+	"frangipani/internal/sim"
+)
+
+// Re-exported types so callers rarely need the internal packages.
+type (
+	// FS is one Frangipani file server.
+	FS = fs.FS
+	// File is an open file handle.
+	File = fs.File
+	// Config tunes one file server.
+	Config = fs.Config
+	// Info is Stat output.
+	Info = fs.Info
+	// DirEntry is one directory entry.
+	DirEntry = fs.DirEntry
+	// VDiskID names a Petal virtual disk.
+	VDiskID = petal.VDiskID
+	// Report is the output of the consistency checker.
+	Report = fs.Report
+)
+
+// Re-exported helpers.
+var (
+	// DefaultFSConfig returns per-server defaults.
+	DefaultFSConfig = fs.DefaultConfig
+	// Check verifies a quiesced or snapshotted file system.
+	Check = fs.Check
+	// Restore copies a snapshot to a new virtual disk and replays its
+	// logs.
+	Restore = fs.Restore
+	// Mount attaches a Frangipani server to an arbitrary virtual disk
+	// (Cluster.AddServer covers the common case on the shared disk).
+	Mount = fs.Mount
+	// Mkfs initializes a Frangipani file system on a virtual disk.
+	Mkfs = fs.Mkfs
+)
+
+// ClusterConfig sizes a Cluster.
+type ClusterConfig struct {
+	// PetalServers and LockServers set the service sizes (the paper's
+	// testbed ran 7 Petal servers; lock servers can share machines).
+	PetalServers int
+	LockServers  int
+	// DisksPerServer and DiskCapacity size each Petal server's local
+	// storage (the paper: 9 RZ29 disks per server).
+	DisksPerServer int
+	DiskCapacity   int64
+	// NVRAM, if > 0, fronts every Petal disk with a PrestoServe-like
+	// write buffer of this many bytes.
+	NVRAM int
+	// Compression is the simulated-to-real time ratio; Seed feeds the
+	// deterministic RNG.
+	Compression float64
+	Seed        int64
+	// HeartbeatEvery / SuspectAfter tune failure detection.
+	HeartbeatEvery time.Duration
+	SuspectAfter   time.Duration
+	// FSConfig is the template for servers mounted via AddServer.
+	FSConfig Config
+	// VDisk names the shared virtual disk.
+	VDisk VDiskID
+	// GuardWrites enables the §6 lease-expiration write guard at the
+	// Petal servers.
+	GuardWrites bool
+	// NoReplicate disables Petal write replication (a benchmark
+	// ablation knob; unsafe under failures).
+	NoReplicate bool
+}
+
+// DefaultClusterConfig mirrors a small version of the paper's
+// testbed: 3 Petal servers with 3 disks each, 3 lock servers.
+func DefaultClusterConfig() ClusterConfig {
+	fscfg := fs.DefaultConfig()
+	fscfg.Lock.HeartbeatEvery = 2 * time.Second
+	fscfg.Lock.SuspectAfter = 10 * time.Second
+	return ClusterConfig{
+		PetalServers:   3,
+		LockServers:    3,
+		DisksPerServer: 3,
+		DiskCapacity:   256 << 20,
+		Compression:    100,
+		Seed:           1,
+		HeartbeatEvery: 2 * time.Second,
+		SuspectAfter:   10 * time.Second,
+		FSConfig:       fscfg,
+		VDisk:          "fs0",
+	}
+}
+
+// Cluster is a fully assembled Frangipani installation.
+type Cluster struct {
+	World  *sim.World
+	Petals []*petal.Server
+	Locks  []*lockservice.Server
+	cfg    ClusterConfig
+	lay    fs.Layout
+
+	petalNames []string
+	lockNames  []string
+	servers    map[string]*FS
+	clients    []*petal.Client
+}
+
+// NewCluster builds the stack and initializes the shared file
+// system.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.PetalServers < 1 || cfg.LockServers < 1 {
+		return nil, fmt.Errorf("frangipani: need at least one petal and one lock server")
+	}
+	w := sim.NewWorld(cfg.Compression, cfg.Seed)
+	c := &Cluster{
+		World:   w,
+		cfg:     cfg,
+		lay:     fs.DefaultLayout(),
+		servers: make(map[string]*FS),
+	}
+	pcfg := petal.DefaultServerConfig(cfg.DiskCapacity)
+	pcfg.NumDisks = cfg.DisksPerServer
+	pcfg.NVRAM = cfg.NVRAM
+	pcfg.HeartbeatEvery = cfg.HeartbeatEvery
+	pcfg.SuspectAfter = cfg.SuspectAfter
+	if cfg.GuardWrites {
+		pcfg.WriteGuard = func(req petal.WriteReq, now int64) bool {
+			return req.ExpireAt == 0 || req.ExpireAt > now
+		}
+	}
+	pcfg.NoReplicate = cfg.NoReplicate
+	for i := 0; i < cfg.PetalServers; i++ {
+		c.petalNames = append(c.petalNames, fmt.Sprintf("petal%d", i))
+	}
+	for _, n := range c.petalNames {
+		c.Petals = append(c.Petals, petal.NewServer(w, n, c.petalNames, pcfg))
+	}
+	lcfg := cfg.FSConfig.Lock
+	for i := 0; i < cfg.LockServers; i++ {
+		c.lockNames = append(c.lockNames, fmt.Sprintf("lock%d", i))
+	}
+	for _, n := range c.lockNames {
+		c.Locks = append(c.Locks, lockservice.NewServer(w, n, c.lockNames, lcfg))
+	}
+	admin := c.Client("admin")
+	if err := admin.CreateVDisk(cfg.VDisk); err != nil {
+		c.Close()
+		return nil, err
+	}
+	if err := fs.Mkfs(admin, cfg.VDisk, c.lay); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Layout exposes the on-disk layout in use.
+func (c *Cluster) Layout() fs.Layout { return c.lay }
+
+// LockServerNames returns the lock service membership.
+func (c *Cluster) LockServerNames() []string {
+	return append([]string(nil), c.lockNames...)
+}
+
+// PetalServerNames returns the Petal membership.
+func (c *Cluster) PetalServerNames() []string {
+	return append([]string(nil), c.petalNames...)
+}
+
+// Client returns a Petal device driver for the named machine.
+func (c *Cluster) Client(machine string) *petal.Client {
+	pc := petal.NewClient(c.World, machine, c.petalNames)
+	c.clients = append(c.clients, pc)
+	return pc
+}
+
+// AddServer mounts a new Frangipani server on the shared disk — the
+// paper's transparent server addition (§7): the new machine needs
+// only the virtual disk name and the lock service addresses.
+func (c *Cluster) AddServer(machine string) (*FS, error) {
+	return c.AddServerWithConfig(machine, c.cfg.FSConfig)
+}
+
+// AddServerWithConfig mounts a server with a custom configuration.
+func (c *Cluster) AddServerWithConfig(machine string, fscfg Config) (*FS, error) {
+	if _, dup := c.servers[machine]; dup {
+		return nil, fmt.Errorf("frangipani: machine %q already has a server", machine)
+	}
+	f, err := fs.Mount(c.World, machine, c.Client(machine), c.cfg.VDisk, c.lockNames, c.lay, fscfg)
+	if err != nil {
+		return nil, err
+	}
+	c.servers[machine] = f
+	return f, nil
+}
+
+// RemoveServer cleanly unmounts a server ("removing a Frangipani
+// server is even easier", §7).
+func (c *Cluster) RemoveServer(machine string) error {
+	f, ok := c.servers[machine]
+	if !ok {
+		return fmt.Errorf("frangipani: no server on %q", machine)
+	}
+	delete(c.servers, machine)
+	return f.Unmount()
+}
+
+// Server returns the file server mounted on a machine.
+func (c *Cluster) Server(machine string) *FS { return c.servers[machine] }
+
+// Fsck runs the offline consistency checker against the shared disk;
+// quiesce (Sync) the servers first for a meaningful answer.
+func (c *Cluster) Fsck() (*Report, error) {
+	return fs.Check(c.Client("fsck"), c.cfg.VDisk, c.lay)
+}
+
+// Close tears the whole cluster down.
+func (c *Cluster) Close() {
+	for name, f := range c.servers {
+		if !f.Poisoned() {
+			_ = f.Unmount()
+		}
+		delete(c.servers, name)
+	}
+	for _, pc := range c.clients {
+		pc.Close()
+	}
+	for _, s := range c.Locks {
+		s.Close()
+	}
+	for _, s := range c.Petals {
+		s.Close()
+	}
+	c.World.Stop()
+}

@@ -1,0 +1,125 @@
+package frangipani_test
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"frangipani"
+)
+
+func newTestCluster(t *testing.T) *frangipani.Cluster {
+	t.Helper()
+	cfg := frangipani.DefaultClusterConfig()
+	cfg.GuardWrites = true
+	c, err := frangipani.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestClusterLifecycle(t *testing.T) {
+	c := newTestCluster(t)
+	ws1, err := c.AddServer("ws1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Server("ws1") != ws1 {
+		t.Fatal("Server() lookup failed")
+	}
+	if _, err := c.AddServer("ws1"); err == nil {
+		t.Fatal("duplicate machine accepted")
+	}
+	if err := ws1.Mkdir("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveServer("ws1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveServer("ws1"); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	// State persists across the server's life.
+	ws2, err := c.AddServer("ws2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ws2.Stat("/a"); err != nil {
+		t.Fatalf("state lost across server remove/add: %v", err)
+	}
+}
+
+func TestClusterSharedNamespace(t *testing.T) {
+	c := newTestCluster(t)
+	ws1, _ := c.AddServer("ws1")
+	ws2, _ := c.AddServer("ws2")
+	h, err := ws1.OpenFile("/data.bin", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("written on machine one")
+	if _, err := h.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ws2.Open("/data.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := h2.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("ws2 read %q", got)
+	}
+}
+
+func TestClusterFsckOnIdle(t *testing.T) {
+	c := newTestCluster(t)
+	ws1, _ := c.AddServer("ws1")
+	for _, p := range []string{"/x", "/y", "/z"} {
+		if err := ws1.Create(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ws1.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("fsck problems: %+v", rep.Problems)
+	}
+	if rep.Files != 3 || rep.Dirs != 1 {
+		t.Fatalf("fsck counts: %+v", rep)
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	cfg := frangipani.DefaultClusterConfig()
+	cfg.PetalServers = 0
+	if _, err := frangipani.NewCluster(cfg); err == nil {
+		t.Fatal("zero petal servers accepted")
+	}
+}
+
+func TestErrorsSurfaceThroughFacade(t *testing.T) {
+	c := newTestCluster(t)
+	ws1, _ := c.AddServer("ws1")
+	if _, err := ws1.Stat("/missing"); !errors.Is(err, errNotExist(ws1)) {
+		// fs.ErrNotExist is internal; just assert an error came back.
+		if err == nil {
+			t.Fatal("stat of missing path succeeded")
+		}
+	}
+}
+
+// errNotExist fishes the canonical not-exist error out via a probe.
+func errNotExist(f *frangipani.FS) error {
+	_, err := f.Stat("/definitely-not-here-either")
+	return err
+}

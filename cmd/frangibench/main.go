@@ -1,0 +1,93 @@
+// Command frangibench regenerates the tables and figures of the
+// Frangipani paper's evaluation (§9) on the simulated testbed.
+//
+// Usage:
+//
+//	frangibench                 # run every experiment
+//	frangibench -exp table1     # one experiment
+//	frangibench -quick          # smaller workloads (smoke run)
+//	frangibench -list           # list experiment names
+//
+// See EXPERIMENTS.md for the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"frangipani/internal/bench"
+)
+
+var names = []string{
+	"table1", "table2", "table3",
+	"fig5", "fig6", "fig7", "fig7-norepl", "fig8", "fig9",
+	"wshare", "smallreads", "ablation-synclog",
+}
+
+func main() {
+	var (
+		exp         = flag.String("exp", "", "experiment to run (default: all)")
+		quick       = flag.Bool("quick", false, "smaller workloads")
+		list        = flag.Bool("list", false, "list experiments and exit")
+		compression = flag.Float64("compression", 1, "simulated seconds per real second")
+		machines    = flag.Int("machines", 6, "maximum Frangipani machines in scaling sweeps")
+		petals      = flag.Int("petals", 7, "number of Petal servers")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	o := bench.DefaultOptions()
+	o.Quick = *quick
+	o.Compression = *compression
+	o.MaxMachines = *machines
+	o.PetalServers = *petals
+
+	if *exp != "" {
+		tb, err := o.ByName(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "frangibench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(tb.Render())
+		return
+	}
+	// Run each experiment in a fresh child process: at clock
+	// compression 1, heap retained from earlier experiments would
+	// inflate later wall-derived timings through GC pauses.
+	self, err := os.Executable()
+	if err != nil {
+		self = ""
+	}
+	for _, n := range names {
+		if self != "" {
+			cmd := exec.Command(self,
+				"-exp", n,
+				fmt.Sprintf("-quick=%v", *quick),
+				fmt.Sprintf("-compression=%v", *compression),
+				fmt.Sprintf("-machines=%d", *machines),
+				fmt.Sprintf("-petals=%d", *petals))
+			cmd.Stdout = os.Stdout
+			cmd.Stderr = os.Stderr
+			if err := cmd.Run(); err != nil {
+				fmt.Fprintln(os.Stderr, "frangibench:", n, err)
+				os.Exit(1)
+			}
+		} else {
+			tb, err := o.ByName(n)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "frangibench:", n, err)
+				os.Exit(1)
+			}
+			fmt.Print(tb.Render())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,160 @@
+// Command frangicli is an interactive shell over an in-process
+// Frangipani cluster: two Petal-backed file servers share one virtual
+// disk, and every command can be routed to either server with the
+// `on` command, making the coherence guarantees directly observable.
+//
+//	$ go run ./cmd/frangicli
+//	ws1> mkdir /demo
+//	ws1> put /demo/hello.txt hello world
+//	ws1> on ws2
+//	ws2> cat /demo/hello.txt
+//	hello world
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"frangipani"
+)
+
+func main() {
+	cluster, err := frangipani.NewCluster(frangipani.DefaultClusterConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "frangicli:", err)
+		os.Exit(1)
+	}
+	defer cluster.Close()
+	servers := map[string]*frangipani.FS{}
+	for _, name := range []string{"ws1", "ws2"} {
+		f, err := cluster.AddServer(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "frangicli:", err)
+			os.Exit(1)
+		}
+		servers[name] = f
+	}
+	cur := "ws1"
+	fmt.Println("frangipani shell — two servers (ws1, ws2) share one disk; `help` for commands")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Printf("%s> ", cur)
+		if !sc.Scan() {
+			return
+		}
+		args := strings.Fields(sc.Text())
+		if len(args) == 0 {
+			continue
+		}
+		fs := servers[cur]
+		var err error
+		switch args[0] {
+		case "help":
+			fmt.Println(`commands:
+  on <ws1|ws2>         switch the server executing commands
+  ls [path]            list a directory
+  mkdir|rmdir <path>   make / remove a directory
+  touch|rm <path>      create / remove a file
+  put <path> <text..>  write text into a file
+  cat <path>           print a file
+  mv <src> <dst>       rename
+  ln -s <tgt> <path>   symlink
+  stat <path>          show metadata
+  sync                 flush this server
+  fsck                 offline consistency check
+  quit`)
+		case "on":
+			if len(args) == 2 && servers[args[1]] != nil {
+				cur = args[1]
+			} else {
+				fmt.Println("usage: on ws1|ws2")
+			}
+		case "ls":
+			path := "/"
+			if len(args) > 1 {
+				path = args[1]
+			}
+			var ents []frangipani.DirEntry
+			ents, err = fs.ReadDir(path)
+			for _, e := range ents {
+				fmt.Printf("%-8s %s\n", e.Type, e.Name)
+			}
+		case "mkdir":
+			err = fs.Mkdir(arg(args, 1))
+		case "rmdir":
+			err = fs.Rmdir(arg(args, 1))
+		case "touch":
+			err = fs.Create(arg(args, 1))
+		case "rm":
+			err = fs.Remove(arg(args, 1))
+		case "mv":
+			err = fs.Rename(arg(args, 1), arg(args, 2))
+		case "ln":
+			if len(args) == 4 && args[1] == "-s" {
+				err = fs.Symlink(args[2], args[3])
+			} else {
+				fmt.Println("usage: ln -s <target> <path>")
+			}
+		case "put":
+			var h *frangipani.File
+			h, err = fs.OpenFile(arg(args, 1), true)
+			if err == nil {
+				_, err = h.WriteAt([]byte(strings.Join(args[2:], " ")+"\n"), 0)
+			}
+		case "cat":
+			var h *frangipani.File
+			h, err = fs.Open(arg(args, 1))
+			if err == nil {
+				var size int64
+				if size, err = h.Size(); err == nil {
+					buf := make([]byte, size)
+					var n int
+					n, err = h.ReadAt(buf, 0)
+					if err == io.EOF {
+						err = nil
+					}
+					os.Stdout.Write(buf[:n])
+				}
+			}
+		case "stat":
+			var info frangipani.Info
+			info, err = fs.Stat(arg(args, 1))
+			if err == nil {
+				fmt.Printf("inum=%d type=%s size=%d nlink=%d\n", info.Inum, info.Type, info.Size, info.Nlink)
+			}
+		case "sync":
+			err = fs.Sync()
+		case "fsck":
+			for _, f := range servers {
+				_ = f.Sync()
+			}
+			var rep *frangipani.Report
+			rep, err = cluster.Fsck()
+			if err == nil {
+				if rep.OK() {
+					fmt.Printf("clean (%d inodes, %d blocks)\n", rep.Inodes, rep.Blocks)
+				}
+				for _, p := range rep.Problems {
+					fmt.Printf("PROBLEM [%s] %s\n", p.Kind, p.Msg)
+				}
+			}
+		case "quit", "exit":
+			return
+		default:
+			fmt.Println("unknown command; `help`")
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+func arg(args []string, i int) string {
+	if i < len(args) {
+		return args[i]
+	}
+	return ""
+}

@@ -1,0 +1,82 @@
+// Backup: take an online, file-system-consistent snapshot of a live
+// Frangipani volume using the §8 barrier scheme (all servers quiesce
+// via a global lock, then Petal snapshots copy-on-write), restore it
+// to a fresh virtual disk, and verify the restored tree — all while
+// the original volume keeps changing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"frangipani"
+)
+
+func main() {
+	cluster, err := frangipani.NewCluster(frangipani.DefaultClusterConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	ws1, err := cluster.AddServer("ws1")
+	check(err)
+	ws2, err := cluster.AddServer("ws2")
+	check(err)
+
+	// Both servers write concurrently.
+	check(ws1.Mkdir("/mail"))
+	writeFile(ws1, "/mail/inbox", "42 unread messages")
+	check(ws2.Mkdir("/home"))
+	writeFile(ws2, "/home/todo", "ship the backup feature")
+
+	// Online backup: the barrier lock forces every server to flush
+	// and pause modifications for the instant of the snapshot.
+	check(ws1.SnapshotWithBarrier("nightly-backup"))
+	fmt.Println("took barrier snapshot 'nightly-backup' while both servers were live")
+
+	// The live volume moves on; the snapshot must not see this.
+	writeFile(ws1, "/mail/sent", "post-snapshot mail")
+	check(ws1.Remove("/home/todo"))
+
+	// Restore the snapshot onto a new virtual disk. Thanks to the
+	// barrier, no log replay is needed — but Restore runs recovery on
+	// every log anyway, which also covers crash-consistent snapshots.
+	pc := cluster.Client("restorer")
+	check(frangipani.Restore(pc, "nightly-backup", "restored-disk", cluster.Layout()))
+	rep, err := frangipani.Check(pc, "restored-disk", cluster.Layout())
+	check(err)
+	fmt.Printf("fsck on restored disk: %d inodes, problems=%d\n", rep.Inodes, len(rep.Problems))
+
+	// Mount the restored volume and inspect: pre-snapshot state only.
+	rfs, err := frangipani.Mount(cluster.World, "wsRestore", cluster.Client("wsRestore"),
+		"restored-disk", cluster.LockServerNames(), cluster.Layout(), frangipani.DefaultFSConfig())
+	check(err)
+	defer rfs.Unmount()
+	fmt.Println("restored volume contents:")
+	for _, dir := range []string{"/mail", "/home"} {
+		ents, err := rfs.ReadDir(dir)
+		check(err)
+		for _, e := range ents {
+			fmt.Printf("  %s/%s\n", dir, e.Name)
+		}
+	}
+	if _, err := rfs.Stat("/mail/sent"); err != nil {
+		fmt.Println("post-snapshot file /mail/sent correctly absent from the backup")
+	}
+	if _, err := rfs.Stat("/home/todo"); err == nil {
+		fmt.Println("file deleted after the snapshot is still in the backup — time travel works")
+	}
+}
+
+func writeFile(fs *frangipani.FS, path, content string) {
+	h, err := fs.OpenFile(path, true)
+	check(err)
+	_, err = h.WriteAt([]byte(content), 0)
+	check(err)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module frangipani
+
+go 1.24

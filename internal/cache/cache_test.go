@@ -1,0 +1,167 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLookupInsert(t *testing.T) {
+	p := NewPool(512, 16)
+	if _, ok := p.Lookup(0); ok {
+		t.Fatal("lookup hit on empty pool")
+	}
+	data := make([]byte, 512)
+	data[0] = 42
+	e := p.Insert(1024, data, 7)
+	got, ok := p.Lookup(1024)
+	if !ok || got != e || got.Data[0] != 42 {
+		t.Fatal("insert/lookup mismatch")
+	}
+	hits, misses := p.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+func TestLRUEvictionPrefersOld(t *testing.T) {
+	p := NewPool(512, 4)
+	buf := make([]byte, 512)
+	for i := int64(0); i < 4; i++ {
+		p.Insert(i*512, buf, 1)
+	}
+	p.Lookup(0) // freshen addr 0
+	p.Insert(4*512, buf, 1)
+	if _, ok := p.Lookup(0); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, ok := p.Lookup(512); ok {
+		t.Fatal("LRU entry survived over-capacity insert")
+	}
+	if p.Len() != 4 {
+		t.Fatalf("len=%d, want 4", p.Len())
+	}
+}
+
+func TestDirtyEvictionFlushes(t *testing.T) {
+	p := NewPool(512, 2)
+	var mu sync.Mutex
+	var flushed []int64
+	p.SetFlusher(func(e *Entry) error {
+		mu.Lock()
+		flushed = append(flushed, e.Addr)
+		mu.Unlock()
+		return nil
+	})
+	buf := make([]byte, 512)
+	e0 := p.Insert(0, buf, 1)
+	p.MarkDirty(e0, 5)
+	p.Insert(512, buf, 1)
+	p.Insert(1024, buf, 1) // evicts addr 0, which is dirty
+	mu.Lock()
+	defer mu.Unlock()
+	if len(flushed) != 1 || flushed[0] != 0 {
+		t.Fatalf("flushed = %v, want [0]", flushed)
+	}
+}
+
+func TestOwnerIndex(t *testing.T) {
+	p := NewPool(512, 64)
+	buf := make([]byte, 512)
+	for i := int64(0); i < 6; i++ {
+		owner := uint64(i % 2)
+		e := p.Insert(i*512, buf, owner)
+		if i%3 == 0 {
+			p.MarkDirty(e, i)
+		}
+	}
+	d0 := p.DirtyByOwner(0) // addrs 0 (i=0) dirty? i=0 owner 0 dirty; i=3 owner 1 dirty
+	if len(d0) != 1 || d0[0].Addr != 0 {
+		t.Fatalf("owner 0 dirty = %v", d0)
+	}
+	d1 := p.DirtyByOwner(1)
+	if len(d1) != 1 || d1[0].Addr != 3*512 {
+		t.Fatalf("owner 1 dirty = %v", d1)
+	}
+	p.InvalidateByOwner(0)
+	for i := int64(0); i < 6; i += 2 {
+		if _, ok := p.Lookup(i * 512); ok {
+			t.Fatalf("owner-0 entry %d survived invalidation", i)
+		}
+	}
+	if _, ok := p.Lookup(512); !ok {
+		t.Fatal("owner-1 entry wrongly invalidated")
+	}
+}
+
+func TestMarkCleanAndSeq(t *testing.T) {
+	p := NewPool(512, 4)
+	e := p.Insert(0, make([]byte, 512), 1)
+	p.MarkDirty(e, 10)
+	p.MarkDirty(e, 7) // lower seq must not regress
+	if e.Seq != 10 {
+		t.Fatalf("seq = %d, want 10", e.Seq)
+	}
+	if !p.HasDirty() {
+		t.Fatal("HasDirty false with dirty entry")
+	}
+	p.MarkClean(e)
+	if p.HasDirty() {
+		t.Fatal("HasDirty true after clean")
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	p := NewPool(512, 16)
+	for i := int64(0); i < 8; i++ {
+		p.Insert(i*512, make([]byte, 512), uint64(i))
+	}
+	p.InvalidateAll()
+	if p.Len() != 0 {
+		t.Fatalf("len=%d after InvalidateAll", p.Len())
+	}
+	// Pool still usable.
+	p.Insert(0, make([]byte, 512), 1)
+	if p.Len() != 1 {
+		t.Fatal("pool unusable after InvalidateAll")
+	}
+}
+
+func TestReInsertChangesOwner(t *testing.T) {
+	p := NewPool(512, 8)
+	p.Insert(0, make([]byte, 512), 1)
+	p.Insert(0, make([]byte, 512), 2)
+	if got := p.DirtyByOwner(1); len(got) != 0 {
+		t.Fatal("old owner still indexed")
+	}
+	e, _ := p.Lookup(0)
+	p.MarkDirty(e, 1)
+	if got := p.DirtyByOwner(2); len(got) != 1 {
+		t.Fatal("new owner not indexed")
+	}
+}
+
+func TestCapacityInvariantProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		p := NewPool(64, 8)
+		buf := make([]byte, 64)
+		for _, op := range ops {
+			addr := int64(op%32) * 64
+			switch op % 3 {
+			case 0, 1:
+				p.Insert(addr, buf, uint64(op%4))
+			case 2:
+				if e, ok := p.Lookup(addr); ok {
+					p.MarkDirty(e, int64(op))
+				}
+			}
+			if p.Len() > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

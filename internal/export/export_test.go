@@ -1,0 +1,188 @@
+package export
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"frangipani/internal/fs"
+	"frangipani/internal/lockservice"
+	"frangipani/internal/petal"
+	"frangipani/internal/sim"
+)
+
+// rig builds petal + locks + n Frangipani servers, each exporting.
+type rig struct {
+	w       *sim.World
+	servers []*Server
+	fss     []*fs.FS
+	names   []string
+}
+
+func newRig(t *testing.T, n int) *rig {
+	t.Helper()
+	w := sim.NewWorld(200, 21)
+	r := &rig{w: w}
+	var petals []string
+	for i := 0; i < 3; i++ {
+		petals = append(petals, fmt.Sprintf("p%d", i))
+	}
+	pcfg := petal.DefaultServerConfig(128 << 20)
+	pcfg.NumDisks = 2
+	pcfg.HeartbeatEvery = 2 * time.Second
+	pcfg.SuspectAfter = 10 * time.Second
+	var pservers []*petal.Server
+	for _, name := range petals {
+		pservers = append(pservers, petal.NewServer(w, name, petals, pcfg))
+	}
+	var locks []string
+	for i := 0; i < 3; i++ {
+		locks = append(locks, fmt.Sprintf("ls%d", i))
+	}
+	lcfg := lockservice.DefaultConfig()
+	lcfg.HeartbeatEvery = 2 * time.Second
+	lcfg.SuspectAfter = 10 * time.Second
+	var lservers []*lockservice.Server
+	for _, name := range locks {
+		lservers = append(lservers, lockservice.NewServer(w, name, locks, lcfg))
+	}
+	admin := petal.NewClient(w, "admin", petals)
+	if err := admin.CreateVDisk("vol"); err != nil {
+		t.Fatal(err)
+	}
+	lay := fs.DefaultLayout()
+	if err := fs.Mkfs(admin, "vol", lay); err != nil {
+		t.Fatal(err)
+	}
+	fscfg := fs.DefaultConfig()
+	fscfg.Lock = lcfg
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("srv%d", i)
+		f, err := fs.Mount(w, name, petal.NewClient(w, name, petals), "vol", locks, lay, fscfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.fss = append(r.fss, f)
+		r.servers = append(r.servers, NewServer(w, f))
+		r.names = append(r.names, name)
+	}
+	t.Cleanup(func() {
+		for i, s := range r.servers {
+			s.Close()
+			_ = r.fss[i].Unmount()
+		}
+		for _, s := range lservers {
+			s.Close()
+		}
+		for _, s := range pservers {
+			s.Close()
+		}
+		w.Stop()
+	})
+	return r
+}
+
+func TestRemoteClientFullWorkflow(t *testing.T) {
+	r := newRig(t, 1)
+	c := NewClient(r.w, "laptop", r.names)
+	defer c.Close()
+
+	if err := c.Mkdir("/remote"); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("written from an untrusted client")
+	if err := c.Write("/remote/file", 0, data, true, true); err != nil {
+		t.Fatal(err)
+	}
+	got, eof, err := c.Read("/remote/file", 0, 1024)
+	if err != nil || !eof || !bytes.Equal(got, data) {
+		t.Fatalf("read=%q eof=%v err=%v", got, eof, err)
+	}
+	attr, err := c.Stat("/remote/file")
+	if err != nil || attr.Size != int64(len(data)) {
+		t.Fatalf("stat: %+v err=%v", attr, err)
+	}
+	if err := c.Symlink("/remote/file", "/remote/ln"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := c.Readdir("/remote")
+	if err != nil || len(names) != 2 {
+		t.Fatalf("readdir: %v err=%v", names, err)
+	}
+	if err := c.Rename("/remote/file", "/remote/moved"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove("/remote/moved"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove("/remote/ln"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveDir("/remote"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/remote"); err == nil {
+		t.Fatal("removed dir still visible")
+	}
+}
+
+func TestRemoteClientsShareCoherentView(t *testing.T) {
+	r := newRig(t, 2)
+	// Client A talks to srv0, client B to srv1: coherence across the
+	// export layer comes from Frangipani underneath (Figure 3's whole
+	// point: the protocol "should support coherent access").
+	a := NewClient(r.w, "clientA", r.names[:1])
+	defer a.Close()
+	b := NewClient(r.w, "clientB", r.names[1:])
+	defer b.Close()
+
+	if err := a.Write("/shared.txt", 0, []byte("from A"), true, true); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := b.Read("/shared.txt", 0, 64)
+	if err != nil || string(got) != "from A" {
+		t.Fatalf("B reads %q err=%v", got, err)
+	}
+	if err := b.Write("/shared.txt", 0, []byte("from B"), false, true); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = a.Read("/shared.txt", 0, 64)
+	if err != nil || string(got) != "from B" {
+		t.Fatalf("A reads %q err=%v", got, err)
+	}
+}
+
+func TestClientFailsOverAcrossExportServers(t *testing.T) {
+	r := newRig(t, 2)
+	c := NewClient(r.w, "laptop", r.names) // both servers listed
+	defer c.Close()
+	if err := c.Write("/ha.txt", 0, []byte("still here"), true, true); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the first export server (just the export endpoint — the
+	// Frangipani server beneath would be recovered separately).
+	r.servers[0].Close()
+	got, _, err := c.Read("/ha.txt", 0, 64)
+	if err != nil || string(got) != "still here" {
+		t.Fatalf("after failover: %q err=%v", got, err)
+	}
+}
+
+func TestRemoteErrorsPropagate(t *testing.T) {
+	r := newRig(t, 1)
+	c := NewClient(r.w, "laptop", r.names)
+	defer c.Close()
+	if _, err := c.Stat("/nope"); err == nil {
+		t.Fatal("stat of missing file succeeded")
+	}
+	if err := c.Write("/nope/deep", 0, []byte("x"), true, false); err == nil {
+		t.Fatal("write under missing dir succeeded")
+	}
+	if err := c.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mkdir("/d"); err == nil {
+		t.Fatal("duplicate mkdir succeeded")
+	}
+}

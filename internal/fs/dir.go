@@ -1,0 +1,138 @@
+package fs
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Directory content is a sequence of independent 512-byte sectors
+// (each carrying its own version trailer, since "metadata such as
+// directories, which span multiple blocks, have multiple version
+// numbers", §4). Entries never cross sectors. Sector layout:
+//
+//	[0:2)     used bytes (within the entry area)
+//	[2:504)   packed entries
+//	[504:512) version trailer
+//
+// One entry: inum(8) nameLen(1) ftype(1) name(nameLen).
+const (
+	dirHdr       = 2
+	dirDataEnd   = 504
+	dirEntryArea = dirDataEnd - dirHdr
+	// MaxName is the longest file name; an entry must fit one sector.
+	MaxName = 255
+)
+
+// DirEntry is one decoded directory entry.
+type DirEntry struct {
+	Name string
+	Inum int64
+	Type FileType
+}
+
+// Errors.
+var (
+	ErrNameTooLong = errors.New("fs: file name too long")
+	ErrBadDir      = errors.New("fs: corrupt directory sector")
+)
+
+func entryLen(name string) int { return 10 + len(name) }
+
+// dirSectorEntries decodes the entries in one directory sector.
+func dirSectorEntries(sec []byte) ([]DirEntry, error) {
+	used := int(binary.LittleEndian.Uint16(sec[0:2]))
+	if used > dirEntryArea {
+		return nil, ErrBadDir
+	}
+	var out []DirEntry
+	pos := dirHdr
+	end := dirHdr + used
+	for pos < end {
+		if pos+10 > end {
+			return nil, ErrBadDir
+		}
+		inum := int64(binary.LittleEndian.Uint64(sec[pos : pos+8]))
+		nlen := int(sec[pos+8])
+		ftype := FileType(sec[pos+9])
+		if pos+10+nlen > end {
+			return nil, ErrBadDir
+		}
+		out = append(out, DirEntry{
+			Name: string(sec[pos+10 : pos+10+nlen]),
+			Inum: inum,
+			Type: ftype,
+		})
+		pos += 10 + nlen
+	}
+	return out, nil
+}
+
+// dirSectorFind locates name in a sector, returning the entry and
+// its byte position, or ok=false.
+func dirSectorFind(sec []byte, name string) (e DirEntry, pos int, ok bool) {
+	used := int(binary.LittleEndian.Uint16(sec[0:2]))
+	p := dirHdr
+	end := dirHdr + used
+	for p < end {
+		if p+10 > end {
+			return DirEntry{}, 0, false
+		}
+		nlen := int(sec[p+8])
+		if p+10+nlen > end {
+			return DirEntry{}, 0, false
+		}
+		if nlen == len(name) && string(sec[p+10:p+10+nlen]) == name {
+			return DirEntry{
+				Name: name,
+				Inum: int64(binary.LittleEndian.Uint64(sec[p : p+8])),
+				Type: FileType(sec[p+9]),
+			}, p, true
+		}
+		p += 10 + nlen
+	}
+	return DirEntry{}, 0, false
+}
+
+// dirSectorSpace returns the free bytes in a sector's entry area.
+func dirSectorSpace(sec []byte) int {
+	used := int(binary.LittleEndian.Uint16(sec[0:2]))
+	return dirEntryArea - used
+}
+
+// dirSectorAppend adds an entry in place; the caller must have
+// checked space. It returns the byte range [from, to) modified.
+func dirSectorAppend(sec []byte, e DirEntry) (from, to int) {
+	used := int(binary.LittleEndian.Uint16(sec[0:2]))
+	pos := dirHdr + used
+	binary.LittleEndian.PutUint64(sec[pos:pos+8], uint64(e.Inum))
+	sec[pos+8] = byte(len(e.Name))
+	sec[pos+9] = byte(e.Type)
+	copy(sec[pos+10:], e.Name)
+	binary.LittleEndian.PutUint16(sec[0:2], uint16(used+entryLen(e.Name)))
+	return 0, pos + entryLen(e.Name)
+}
+
+// dirSectorRemove deletes the entry at byte position pos (as returned
+// by dirSectorFind), compacting the rest. It returns the modified
+// byte range.
+func dirSectorRemove(sec []byte, pos int) (from, to int) {
+	used := int(binary.LittleEndian.Uint16(sec[0:2]))
+	end := dirHdr + used
+	nlen := int(sec[pos+8])
+	el := 10 + nlen
+	copy(sec[pos:], sec[pos+el:end])
+	for i := end - el; i < end; i++ {
+		sec[i] = 0
+	}
+	binary.LittleEndian.PutUint16(sec[0:2], uint16(used-el))
+	return 0, end
+}
+
+// dirSectorCount returns the number of entries in a sector.
+func dirSectorCount(sec []byte) int {
+	es, err := dirSectorEntries(sec)
+	if err != nil {
+		return 0
+	}
+	return len(es)
+}

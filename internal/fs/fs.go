@@ -1,0 +1,872 @@
+package fs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"frangipani/internal/cache"
+	"frangipani/internal/lockservice"
+	"frangipani/internal/petal"
+	"frangipani/internal/sim"
+	"frangipani/internal/wal"
+)
+
+// Errors surfaced by file system operations.
+var (
+	ErrPoisoned = errors.New("fs: lease lost with dirty data; file system must be unmounted")
+	ErrClosed   = errors.New("fs: unmounted")
+	ErrNotExist = errors.New("fs: no such file or directory")
+	ErrExist    = errors.New("fs: file exists")
+	ErrNotDir   = errors.New("fs: not a directory")
+	ErrIsDir    = errors.New("fs: is a directory")
+	ErrNotEmpty = errors.New("fs: directory not empty")
+	ErrRetry    = errors.New("fs: conflict, retry") // internal
+	ErrTooBig   = errors.New("fs: file size exceeds 64 KB + one large block")
+	ErrNoSpace  = errors.New("fs: no space")
+	ErrInval    = errors.New("fs: invalid argument")
+)
+
+// Config tunes one Frangipani server.
+type Config struct {
+	// SyncEvery is the update-demon period; the paper's permanent
+	// locations are updated "roughly every 30 seconds".
+	SyncEvery sim.Duration
+	// SyncLog forces the log to Petal on every metadata operation
+	// ("optionally, we allow the log records to be written
+	// synchronously", §4).
+	SyncLog bool
+	// LeaseMargin is checked before every Petal write (§6, 15 s).
+	LeaseMargin sim.Duration
+	// ReadAhead is the number of 4 KB pages prefetched on sequential
+	// reads; 0 disables it (the Figure 8 experiment).
+	ReadAhead int
+	// Cache capacities, in blocks.
+	MetaCacheCap int
+	DataCacheCap int
+	// CPU cost model for the server code path.
+	CPUPerOp sim.Duration
+	CPUPerKB sim.Duration
+	// Lock carries the lock service timing shared with the clerk.
+	Lock lockservice.Config
+	// Trace, when set, receives debug events from the server and its
+	// clerk.
+	Trace func(format string, args ...any)
+}
+
+// DefaultConfig returns paper-flavored settings.
+func DefaultConfig() Config {
+	return Config{
+		SyncEvery:    30 * time.Second,
+		LeaseMargin:  lockservice.DefaultLeaseMargin,
+		ReadAhead:    64,    // 256 KB window: four chunk-parallel Petal reads in flight
+		MetaCacheCap: 16384, // 8 MB of sectors
+		DataCacheCap: 8192,  // 32 MB of pages
+		CPUPerOp:     150 * time.Microsecond,
+		CPUPerKB:     25 * time.Microsecond,
+		Lock:         lockservice.DefaultConfig(),
+	}
+}
+
+// trace emits a debug event when Config.Trace is set.
+func (fs *FS) trace(format string, args ...any) {
+	if fs.cfg.Trace != nil {
+		fs.cfg.Trace(format, args...)
+	}
+}
+
+// Counters aggregates per-server statistics for the benchmarks.
+type Counters struct {
+	Ops             int64
+	BytesRead       int64
+	BytesWritten    int64
+	Retries         int64
+	Recoveries      int64
+	ReadAheadHits   int64
+	ReadAheadWasted int64 // prefetched bytes discarded after revocation
+}
+
+// FS is one Frangipani file server instance.
+type FS struct {
+	w       *sim.World
+	machine string
+	pc      *petal.Client
+	vd      petal.VDiskID
+	lay     Layout
+	cfg     Config
+	clerk   *lockservice.Clerk
+	log     *wal.Log
+	meta    *cache.Pool
+	data    *cache.Pool
+	cpu     *sim.CPU
+
+	mu       sync.Mutex
+	owned    map[allocClass][]int64
+	probeOff map[allocClass]int64
+	appended int64 // highest log seq appended
+	flushed  int64 // log seq known flushed
+	poisoned bool
+	closed   bool
+	logSlot  int
+	stats    Counters
+
+	raMu    sync.Mutex
+	raNext  map[int64]int64 // inum -> expected next sequential offset
+	raHigh  map[int64]int64 // inum -> read-ahead high-water mark
+	raBusy  map[int64]int   // inum -> prefetch runs in flight
+	raPages int             // current read-ahead setting
+
+	fetchMu  sync.Mutex
+	inflight map[int64]chan struct{} // single-flight page fetches
+
+	wbMu   sync.Mutex
+	wbBusy bool // write-behind flush in flight
+
+	// atimes holds in-memory approximate access times (§2.1), folded
+	// into inodes when they are next logged. Guarded by mu.
+	atimes map[int64]int64
+
+	syncCancel func()
+}
+
+// Mkfs initializes a Frangipani file system on an (empty) Petal
+// virtual disk: the params sector, the root directory inode, and its
+// allocation bit. It runs without locks; the disk must not be
+// mounted anywhere.
+func Mkfs(pc *petal.Client, vd petal.VDiskID, lay Layout) error {
+	if err := lay.Validate(); err != nil {
+		return err
+	}
+	if err := pc.Write(vd, lay.ParamsBase, encodeParams(params{
+		Magic:   paramsMagic,
+		Version: 1,
+		Root:    RootInum,
+	})); err != nil {
+		return err
+	}
+	// Root inode.
+	sec := make([]byte, SectorSize)
+	encodeInode(Inode{Type: TypeDir, Nlink: 2}, sec)
+	wal.SetBlockVersion(sec, 1)
+	if err := pc.Write(vd, lay.InodeAddr(RootInum), sec); err != nil {
+		return err
+	}
+	// Allocation bit for the root inode.
+	bit := lay.bitFor(classInode, RootInum)
+	addr, byteOff, mask := lay.bitLoc(bit)
+	bsec := make([]byte, SectorSize)
+	if err := pc.Read(vd, addr, bsec); err != nil {
+		return err
+	}
+	bsec[byteOff] |= mask
+	wal.SetBlockVersion(bsec, 1)
+	return pc.Write(vd, addr, bsec)
+}
+
+// Mount attaches a new Frangipani server to a shared virtual disk.
+// machine is this server's identity; lockServers lists the lock
+// service members.
+func Mount(w *sim.World, machine string, pc *petal.Client, vd petal.VDiskID,
+	lockServers []string, lay Layout, cfg Config) (*FS, error) {
+	if err := lay.Validate(); err != nil {
+		return nil, err
+	}
+	psec := make([]byte, SectorSize)
+	if err := pc.Read(vd, lay.ParamsBase, psec); err != nil {
+		return nil, fmt.Errorf("fs: reading params: %w", err)
+	}
+	if _, err := decodeParams(psec); err != nil {
+		return nil, err
+	}
+	fs := &FS{
+		w:        w,
+		machine:  machine,
+		pc:       pc,
+		vd:       vd,
+		lay:      lay,
+		cfg:      cfg,
+		cpu:      w.CPU(machine),
+		meta:     cache.NewPool(SectorSize, cfg.MetaCacheCap),
+		data:     cache.NewPool(BlockSize, cfg.DataCacheCap),
+		owned:    make(map[allocClass][]int64),
+		probeOff: make(map[allocClass]int64),
+		raNext:   make(map[int64]int64),
+		raHigh:   make(map[int64]int64),
+		raBusy:   make(map[int64]int),
+		atimes:   make(map[int64]int64),
+		inflight: make(map[int64]chan struct{}),
+		raPages:  cfg.ReadAhead,
+	}
+	fs.meta.SetFlusher(func(e *cache.Entry) error { return fs.flushEntry(fs.meta, e) })
+	fs.data.SetFlusher(func(e *cache.Entry) error { return fs.flushEntry(fs.data, e) })
+
+	fs.clerk = lockservice.NewClerk(w, machine, string(vd), lockServers, cfg.Lock)
+	fs.clerk.Trace = cfg.Trace
+	fs.clerk.SetCallbacks(fs.onRevoke, fs.onRecover, fs.onLeaseLost)
+	if err := fs.clerk.Open(); err != nil {
+		return nil, err
+	}
+	fs.logSlot = fs.clerk.LogSlot()
+	if fs.logSlot >= lay.LogSlots {
+		fs.clerk.Close()
+		return nil, fmt.Errorf("fs: out of log slots (%d servers max)", lay.LogSlots)
+	}
+	// Stamp Petal writes with our lease so guarded Petal servers can
+	// reject expired writers (§6 hazard fix).
+	pc.SetLeaseInfo(func() (int64, uint64) {
+		return fs.clerk.ExpiresAt() - int64(cfg.LeaseMargin), fs.clerk.LeaseID()
+	})
+
+	// A fresh mount starts with an empty log: zero the slot so stale
+	// records from a previous tenancy (already recovered or cleanly
+	// closed) cannot be replayed.
+	zero := make([]byte, lay.LogSize)
+	if err := fs.petalWrite(lay.LogSlotBase(fs.logSlot), zero); err != nil {
+		fs.clerk.Close()
+		return nil, err
+	}
+	fs.log = wal.New(&logRegion{fs: fs, base: fs.lay.LogSlotBase(fs.logSlot)}, lay.LogSize)
+	fs.log.SetReclaim(fs.reclaimLog)
+
+	fs.syncCancel = w.Clock.Tick(cfg.SyncEvery, func() { _ = fs.Sync() })
+	return fs, nil
+}
+
+// Machine returns the server's machine name.
+func (fs *FS) Machine() string { return fs.machine }
+
+// LogSlot returns the server's private log slot.
+func (fs *FS) LogSlot() int { return fs.logSlot }
+
+// Clerk exposes the lock clerk (tests and the backup tool use it).
+func (fs *FS) Clerk() *lockservice.Clerk { return fs.clerk }
+
+// Stats returns a snapshot of the server's counters.
+func (fs *FS) Stats() Counters {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// SetReadAhead adjusts the read-ahead window at runtime (Figure 8's
+// experiment toggles it).
+func (fs *FS) SetReadAhead(pages int) {
+	fs.raMu.Lock()
+	fs.raPages = pages
+	fs.raMu.Unlock()
+}
+
+// Unmount cleanly detaches: flush everything, close the lock table.
+func (fs *FS) Unmount() error {
+	err := fs.Sync()
+	fs.mu.Lock()
+	fs.closed = true
+	fs.mu.Unlock()
+	if fs.syncCancel != nil {
+		fs.syncCancel()
+	}
+	fs.clerk.Close()
+	return err
+}
+
+// Crash simulates this Frangipani server failing abruptly: the sync
+// demon stops, operations fail, and the clerk goes silent without
+// closing its session — so the lock service will expire the lease and
+// run recovery on this server's log from another machine (§7:
+// "Removing a Frangipani server ... It is adequate to simply shut
+// the server off").
+func (fs *FS) Crash() {
+	fs.mu.Lock()
+	fs.closed = true
+	fs.mu.Unlock()
+	if fs.syncCancel != nil {
+		fs.syncCancel()
+	}
+	fs.clerk.Abandon()
+}
+
+// Poisoned reports whether the server has shut itself off after
+// losing its lease with dirty data.
+func (fs *FS) Poisoned() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.poisoned
+}
+
+func (fs *FS) usable() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.poisoned {
+		return ErrPoisoned
+	}
+	if fs.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (fs *FS) chargeOp(bytes int) {
+	fs.cpu.Use(fs.cfg.CPUPerOp + sim.Duration(bytes/1024)*fs.cfg.CPUPerKB)
+	fs.mu.Lock()
+	fs.stats.Ops++
+	fs.mu.Unlock()
+}
+
+// petalWrite guards every write with the lease check of §6: "A
+// Frangipani server checks that its lease is still valid (and will
+// still be valid for margin seconds) before attempting any write to
+// Petal." A lease that is merely *near* expiry (renewals delayed) is
+// indeterminate: the write waits for the next renewal round rather
+// than failing, because callers on the revoke path would otherwise
+// silently drop dirty data that the next lock holder depends on.
+// Only a definitively lost lease fails the write.
+func (fs *FS) petalWrite(addr int64, p []byte) error {
+	deadline := fs.w.Clock.Now() + sim.Time(2*fs.cfg.Lock.LeaseDuration)
+	for !fs.clerk.LeaseValid(fs.cfg.LeaseMargin) {
+		if fs.clerk.LeaseLost() || fs.w.Clock.Now() >= deadline {
+			return lockservice.ErrLeaseLost
+		}
+		fs.w.Clock.Sleep(fs.cfg.Lock.LeaseDuration / 10)
+	}
+	return fs.pc.Write(fs.vd, addr, p)
+}
+
+// logRegion adapts a log slot window to the WAL's BlockRegion.
+type logRegion struct {
+	fs   *FS
+	base int64
+}
+
+func (r *logRegion) ReadAt(p []byte, off int64) error {
+	return r.fs.pc.Read(r.fs.vd, r.base+off, p)
+}
+
+func (r *logRegion) WriteAt(p []byte, off int64) error {
+	return r.fs.petalWrite(r.base+off, p)
+}
+
+// directDev adapts the whole virtual disk for WAL replay during
+// recovery.
+type directDev struct{ fs *FS }
+
+func (d *directDev) ReadAt(p []byte, off int64) error {
+	return d.fs.pc.Read(d.fs.vd, off, p)
+}
+
+func (d *directDev) WriteAt(p []byte, off int64) error {
+	return d.fs.petalWrite(off, p)
+}
+
+// ---- cached block I/O ----
+
+// readMeta returns the cached metadata sector at addr, loading it
+// from Petal on a miss. owner is the covering lock.
+func (fs *FS) readMeta(addr int64, owner uint64) (*cache.Entry, error) {
+	if e, ok := fs.meta.Lookup(addr); ok {
+		return e, nil
+	}
+	buf := make([]byte, SectorSize)
+	if err := fs.pc.Read(fs.vd, addr, buf); err != nil {
+		return nil, err
+	}
+	return fs.meta.Insert(addr, buf, owner), nil
+}
+
+// readData returns the cached 4 KB data page at addr.
+func (fs *FS) readData(addr int64, owner uint64) (*cache.Entry, error) {
+	if e, ok := fs.data.Lookup(addr); ok {
+		return e, nil
+	}
+	return fs.readDataRun(addr, 1, owner)
+}
+
+// readDataRun fetches count contiguous pages from Petal in one read
+// and inserts them all, returning the first. Clustering misses keeps
+// large sequential reads at one RPC per 64 KB chunk instead of one
+// per page; single-flight claiming stops the foreground read and the
+// prefetcher from fetching the same pages twice.
+func (fs *FS) readDataRun(addr int64, count int, owner uint64) (*cache.Entry, error) {
+	for {
+		fs.fetchMu.Lock()
+		if ch, busy := fs.inflight[addr]; busy {
+			fs.fetchMu.Unlock()
+			<-ch // someone else is fetching this page
+			if e, ok := fs.data.Lookup(addr); ok {
+				return e, nil
+			}
+			continue // their fetch failed; try ourselves
+		}
+		n := 0
+		for n < count {
+			if _, busy := fs.inflight[addr+int64(n)*BlockSize]; busy {
+				break
+			}
+			n++
+		}
+		ch := make(chan struct{})
+		for i := 0; i < n; i++ {
+			fs.inflight[addr+int64(i)*BlockSize] = ch
+		}
+		fs.fetchMu.Unlock()
+
+		buf := make([]byte, n*BlockSize)
+		err := fs.pc.Read(fs.vd, addr, buf)
+		var first *cache.Entry
+		if err == nil {
+			fs.mu.Lock()
+			fs.stats.BytesRead += int64(len(buf))
+			fs.mu.Unlock()
+			first = fs.data.Insert(addr, buf[:BlockSize], owner)
+			for i := 1; i < n; i++ {
+				// A concurrent writer may have raced a page in; keep
+				// theirs.
+				pageAddr := addr + int64(i)*BlockSize
+				if _, hit := fs.data.Lookup(pageAddr); hit {
+					continue
+				}
+				fs.data.Insert(pageAddr, buf[i*BlockSize:(i+1)*BlockSize], owner)
+			}
+		}
+		fs.fetchMu.Lock()
+		for i := 0; i < n; i++ {
+			delete(fs.inflight, addr+int64(i)*BlockSize)
+		}
+		fs.fetchMu.Unlock()
+		close(ch)
+		return first, err
+	}
+}
+
+// flushEntry makes one dirty entry durable, honoring write-ahead
+// order: the log is forced through the entry's sequence first.
+func (fs *FS) flushEntry(pool *cache.Pool, e *cache.Entry) error {
+	if e.Seq > 0 {
+		fs.mu.Lock()
+		needFlush := e.Seq > fs.flushed
+		target := fs.appended
+		fs.mu.Unlock()
+		if needFlush {
+			if err := fs.log.Flush(); err != nil {
+				return err
+			}
+			fs.mu.Lock()
+			if target > fs.flushed {
+				fs.flushed = target
+			}
+			fs.mu.Unlock()
+		}
+	}
+	gen := pool.Gen(e)
+	if err := fs.petalWrite(e.Addr, e.Data); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	fs.stats.BytesWritten += int64(len(e.Data))
+	fs.mu.Unlock()
+	pool.MarkCleanIf(e, gen)
+	return nil
+}
+
+// ---- transactions ----
+
+// lockExtraMode is the mode for mid-operation extra locks.
+const lockExtraMode = lockservice.Exclusive
+
+// span is a modified byte range within a sector.
+type span struct{ lo, hi int }
+
+// txn accumulates one operation's metadata changes; commit turns
+// them into a single log record (so the whole operation replays
+// atomically per block) and marks the touched cache entries dirty.
+type txn struct {
+	fs      *FS
+	touched []*cache.Entry
+	spans   map[*cache.Entry][]span
+	segs    []uint64 // bitmap segment locks acquired by the allocator
+	// pageOwner is the inode lock that owns data pages created by
+	// this transaction (set by operations that allocate blocks).
+	pageOwner uint64
+}
+
+func (fs *FS) begin() *txn {
+	return &txn{fs: fs, spans: make(map[*cache.Entry][]span)}
+}
+
+// update writes newBytes at off into the entry, recording the
+// changed runs (diffed, so records stay small — the paper's are
+// 80-128 bytes).
+func (t *txn) update(e *cache.Entry, off int, newBytes []byte) {
+	old := e.Data[off : off+len(newBytes)]
+	runStart := -1
+	for i := 0; i <= len(newBytes); i++ {
+		changed := i < len(newBytes) && old[i] != newBytes[i]
+		if changed && runStart < 0 {
+			runStart = i
+		}
+		if !changed && runStart >= 0 {
+			t.spans[e] = append(t.spans[e], span{off + runStart, off + i})
+			runStart = -1
+		}
+	}
+	copy(old, newBytes)
+	if _, seen := t.spans[e]; seen {
+		t.addTouched(e)
+	}
+}
+
+// forceUpdate records a span even if bytes compare equal (used when
+// the semantic state must be re-logged, e.g. allocation bits).
+func (t *txn) forceUpdate(e *cache.Entry, off int, newBytes []byte) {
+	copy(e.Data[off:], newBytes)
+	t.spans[e] = append(t.spans[e], span{off, off + len(newBytes)})
+	t.addTouched(e)
+}
+
+func (t *txn) addTouched(e *cache.Entry) {
+	for _, x := range t.touched {
+		if x == e {
+			return
+		}
+	}
+	t.touched = append(t.touched, e)
+}
+
+// mergeSpans coalesces overlapping/adjacent spans (gap <= 8 bytes is
+// cheaper to log as one run).
+func mergeSpans(in []span) []span {
+	if len(in) <= 1 {
+		return in
+	}
+	for i := 1; i < len(in); i++ {
+		for j := i; j > 0 && in[j].lo < in[j-1].lo; j-- {
+			in[j], in[j-1] = in[j-1], in[j]
+		}
+	}
+	out := in[:1]
+	for _, s := range in[1:] {
+		last := &out[len(out)-1]
+		if s.lo <= last.hi+8 {
+			if s.hi > last.hi {
+				last.hi = s.hi
+			}
+		} else {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// commit appends the log record and dirties the touched entries.
+// The caller still holds all covering locks.
+func (t *txn) commit() error {
+	if len(t.touched) == 0 {
+		return nil
+	}
+	var ups []wal.Update
+	for _, e := range t.touched {
+		spans := mergeSpans(t.spans[e])
+		if len(spans) == 0 {
+			continue
+		}
+		ver := wal.BlockVersion(e.Data) + 1
+		wal.SetBlockVersion(e.Data, ver)
+		for _, s := range spans {
+			ups = append(ups, wal.Update{
+				Addr: e.Addr,
+				Off:  s.lo,
+				Data: append([]byte(nil), e.Data[s.lo:s.hi]...),
+				Ver:  ver,
+			})
+		}
+	}
+	if len(ups) == 0 {
+		return nil
+	}
+	seq, err := t.fs.log.Append(ups)
+	if err != nil {
+		return err
+	}
+	for _, e := range t.touched {
+		t.fs.meta.MarkDirty(e, seq)
+	}
+	t.fs.mu.Lock()
+	if seq > t.fs.appended {
+		t.fs.appended = seq
+	}
+	t.fs.mu.Unlock()
+	if t.fs.cfg.SyncLog {
+		if err := t.fs.log.Flush(); err != nil {
+			return err
+		}
+		t.fs.mu.Lock()
+		if seq > t.fs.flushed {
+			t.fs.flushed = seq
+		}
+		t.fs.mu.Unlock()
+	}
+	return nil
+}
+
+// lockExtra acquires an additional exclusive lock that is held until
+// the transaction's locks are released (used for locks discovered
+// mid-operation, like a freshly allocated inode's).
+func (t *txn) lockExtra(id uint64) error {
+	if err := t.fs.clerk.Lock(id, lockExtraMode); err != nil {
+		return err
+	}
+	t.segs = append(t.segs, id)
+	return nil
+}
+
+// releaseSegs unlocks the bitmap segments (and extra locks) the
+// transaction acquired mid-flight (sticky: the grants stay cached at
+// the clerk).
+func (t *txn) releaseSegs() {
+	for _, id := range t.segs {
+		t.fs.clerk.Unlock(id)
+	}
+	t.segs = nil
+}
+
+// ---- sync demon and write-back ----
+
+// Sync is the update demon body: force the log, write back all dirty
+// blocks, then let the log reclaim the records ("the permanent
+// locations are updated periodically (roughly every 30 seconds) by
+// the update demon", §4).
+func (fs *FS) Sync() error {
+	fs.mu.Lock()
+	if fs.closed && fs.poisoned {
+		fs.mu.Unlock()
+		return ErrPoisoned
+	}
+	target := fs.appended
+	fs.mu.Unlock()
+
+	if err := fs.log.Flush(); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	if target > fs.flushed {
+		fs.flushed = target
+	}
+	fs.mu.Unlock()
+
+	var firstErr error
+	for _, e := range fs.meta.AllDirty() {
+		if err := fs.flushEntry(fs.meta, e); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := fs.flushDataBatch(fs.data.AllDirty()); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr == nil {
+		fs.log.Release(target)
+	}
+	return firstErr
+}
+
+// writeBehind starts (at most one) background flush of dirty data
+// pages once enough accumulate, overlapping Petal transfers with the
+// application's writes the way the paper's kernel write-behind does.
+func (fs *FS) writeBehind() {
+	const threshold = 512 // pages (2 MB)
+	fs.wbMu.Lock()
+	if fs.wbBusy {
+		fs.wbMu.Unlock()
+		return
+	}
+	dirty := fs.data.AllDirty()
+	if len(dirty) < threshold {
+		fs.wbMu.Unlock()
+		return
+	}
+	fs.wbBusy = true
+	fs.wbMu.Unlock()
+	go func() {
+		_ = fs.flushDataBatch(dirty)
+		fs.wbMu.Lock()
+		fs.wbBusy = false
+		fs.wbMu.Unlock()
+	}()
+}
+
+// flushDataBatch writes back dirty data pages, coalescing adjacent
+// pages into large runs — the paper's "clustering writes to Petal
+// into naturally aligned 64 KB blocks" — which the Petal driver then
+// transfers chunk-parallel.
+func (fs *FS) flushDataBatch(dirty []*cache.Entry) error {
+	if len(dirty) == 0 {
+		return nil
+	}
+	sort.Slice(dirty, func(a, b int) bool { return dirty[a].Addr < dirty[b].Addr })
+	var firstErr error
+	i := 0
+	for i < len(dirty) {
+		j := i + 1
+		for j < len(dirty) && dirty[j].Addr == dirty[j-1].Addr+int64(BlockSize) &&
+			(dirty[j].Addr-dirty[i].Addr) < (1<<20) {
+			j++
+		}
+		run := dirty[i:j]
+		buf := make([]byte, len(run)*BlockSize)
+		gens := make([]int64, len(run))
+		for k, e := range run {
+			gens[k] = fs.data.Gen(e)
+			copy(buf[k*BlockSize:], e.Data)
+		}
+		if err := fs.petalWrite(run[0].Addr, buf); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			for k, e := range run {
+				fs.data.MarkCleanIf(e, gens[k])
+			}
+			fs.mu.Lock()
+			fs.stats.BytesWritten += int64(len(buf))
+			fs.mu.Unlock()
+		}
+		i = j
+	}
+	return firstErr
+}
+
+// reclaimLog is the WAL's space-pressure callback: make records
+// through seq durable so their space can be reused.
+func (fs *FS) reclaimLog(through int64) {
+	_ = fs.log.Flush()
+	fs.mu.Lock()
+	if fs.appended > fs.flushed {
+		fs.flushed = fs.appended
+	}
+	fs.mu.Unlock()
+	ok := true
+	for _, e := range fs.meta.AllDirty() {
+		if e.Seq <= through {
+			if err := fs.flushEntry(fs.meta, e); err != nil {
+				ok = false
+			}
+		}
+	}
+	if ok {
+		fs.log.Release(through)
+	}
+}
+
+// ---- lock service callbacks ----
+
+// onRevoke implements §5's coherence actions when another server
+// wants a conflicting lock.
+func (fs *FS) onRevoke(lock uint64, to lockservice.Mode) {
+	fs.trace("onRevoke lock=%x to=%v dirtyMeta=%d dirtyData=%d", lock, to,
+		len(fs.meta.DirtyByOwner(lock)), len(fs.data.DirtyByOwner(lock)))
+	switch lock & (0xff << 56) {
+	case lockTagInode:
+		fs.flushOwner(lock)
+		if to == lockservice.None {
+			fs.meta.InvalidateByOwner(lock)
+			fs.data.InvalidateByOwner(lock)
+			// The prefetch window is void with the cache.
+			inum := int64(lock &^ (0xff << 56))
+			fs.raMu.Lock()
+			delete(fs.raHigh, inum)
+			fs.raMu.Unlock()
+		}
+	case lockTagBitmap:
+		fs.flushOwner(lock)
+		fs.dropSegment(lock)
+		if to == lockservice.None {
+			fs.meta.InvalidateByOwner(lock)
+		}
+	case LockBarrier:
+		// Backup barrier: clean everything before letting the backup
+		// program take the exclusive lock (§8).
+		_ = fs.Sync()
+	}
+}
+
+// flushOwner forces the log and writes back the dirty blocks covered
+// by one lock: "a write lock that covers dirty data can change owners
+// only after the dirty data has been written to Petal" (§4). That
+// rule is absolute — a transient Petal failure must delay the lock
+// handoff, not drop the data — so this retries until everything is
+// clean or the lease is definitively lost (in which case the lock
+// service runs recovery from our log instead).
+func (fs *FS) flushOwner(lock uint64) {
+	for {
+		dirtyMeta := fs.meta.DirtyByOwner(lock)
+		dirtyData := fs.data.DirtyByOwner(lock)
+		if len(dirtyMeta)+len(dirtyData) == 0 {
+			return
+		}
+		ok := true
+		for _, e := range dirtyMeta {
+			if err := fs.flushEntry(fs.meta, e); err != nil {
+				ok = false
+			}
+		}
+		if err := fs.flushDataBatch(dirtyData); err != nil {
+			ok = false
+		}
+		if ok {
+			continue // re-check: all clean now exits above
+		}
+		if fs.clerk.LeaseLost() {
+			return // poison path owns the data-loss accounting
+		}
+		fs.w.Clock.Sleep(500 * time.Millisecond)
+	}
+}
+
+// dropSegment forgets an owned allocation segment when its lock is
+// revoked (another server is stealing it).
+func (fs *FS) dropSegment(lock uint64) {
+	seg := int64(lock &^ (0xff << 56))
+	fs.mu.Lock()
+	for c, segs := range fs.owned {
+		for i, s := range segs {
+			if s == seg {
+				fs.owned[c] = append(segs[:i], segs[i+1:]...)
+				break
+			}
+		}
+	}
+	fs.mu.Unlock()
+}
+
+// onRecover is the recovery demon (§4): replay the dead server's log
+// against the shared disk. The lock service has granted us exclusive
+// ownership of the dead server's log and locks.
+func (fs *FS) onRecover(dead string, deadSlot int) error {
+	region := &logRegion{fs: fs, base: fs.lay.LogSlotBase(deadSlot)}
+	recs, err := wal.Scan(region, fs.lay.LogSize)
+	if err != nil {
+		return err
+	}
+	if _, err := wal.Replay(recs, &directDev{fs: fs}); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	fs.stats.Recoveries++
+	fs.mu.Unlock()
+	return nil
+}
+
+// onLeaseLost implements §6: discard all cached data; if any of it
+// was dirty, poison the file system so every subsequent request
+// fails until unmount.
+func (fs *FS) onLeaseLost() {
+	dirty := fs.meta.HasDirty() || fs.data.HasDirty()
+	fs.meta.InvalidateAll()
+	fs.data.InvalidateAll()
+	fs.mu.Lock()
+	if dirty {
+		fs.poisoned = true
+	}
+	fs.owned = make(map[allocClass][]int64)
+	fs.mu.Unlock()
+}

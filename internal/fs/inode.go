@@ -1,0 +1,142 @@
+package fs
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// FileType distinguishes the objects an inode can describe. "In this
+// section the word file includes directories, symbolic links, and
+// the like" (§3).
+type FileType uint16
+
+// File types.
+const (
+	TypeFree FileType = iota
+	TypeFile
+	TypeDir
+	TypeSymlink
+)
+
+func (t FileType) String() string {
+	switch t {
+	case TypeFree:
+		return "free"
+	case TypeFile:
+		return "file"
+	case TypeDir:
+		return "dir"
+	case TypeSymlink:
+		return "symlink"
+	}
+	return "invalid"
+}
+
+// MaxSymlink is the longest symlink target, stored inline: "Symbolic
+// links store their data directly in the inode" (§3).
+const MaxSymlink = 320
+
+// Inode is the decoded form of one 512-byte on-disk inode. Block
+// pointers hold the object index + 1, so zero means unallocated.
+//
+// On-disk layout (little endian):
+//
+//	[0:2)    type
+//	[2:4)    nlink
+//	[4:12)   size
+//	[12:20)  mtime (simulated ns)
+//	[20:28)  ctime
+//	[28:36)  atime (maintained approximately, §2.1)
+//	[36:164) 16 small-block pointers
+//	[164:172) large-block pointer
+//	[172:174) symlink target length
+//	[174:174+MaxSymlink) symlink target
+//	[504:512) version trailer (managed by the WAL layer)
+type Inode struct {
+	Type    FileType
+	Nlink   uint16
+	Size    int64
+	Mtime   int64
+	Ctime   int64
+	Atime   int64
+	Small   [NumDirect]int64 // index+1
+	Large   int64            // index+1
+	Symlink string
+}
+
+// Field offsets within the sector.
+const (
+	offType    = 0
+	offNlink   = 2
+	offSize    = 4
+	offMtime   = 12
+	offCtime   = 20
+	offAtime   = 28
+	offSmall   = 36
+	offLarge   = offSmall + NumDirect*8 // 164
+	offSymLen  = offLarge + 8           // 172
+	offSymData = offSymLen + 2          // 174
+)
+
+// ErrBadInode reports a corrupt on-disk inode.
+var ErrBadInode = errors.New("fs: corrupt inode")
+
+// decodeInode parses an inode sector (excluding the version trailer,
+// which the WAL layer owns).
+func decodeInode(b []byte) (Inode, error) {
+	var in Inode
+	in.Type = FileType(binary.LittleEndian.Uint16(b[offType:]))
+	if in.Type > TypeSymlink {
+		return in, ErrBadInode
+	}
+	in.Nlink = binary.LittleEndian.Uint16(b[offNlink:])
+	in.Size = int64(binary.LittleEndian.Uint64(b[offSize:]))
+	in.Mtime = int64(binary.LittleEndian.Uint64(b[offMtime:]))
+	in.Ctime = int64(binary.LittleEndian.Uint64(b[offCtime:]))
+	in.Atime = int64(binary.LittleEndian.Uint64(b[offAtime:]))
+	for i := 0; i < NumDirect; i++ {
+		in.Small[i] = int64(binary.LittleEndian.Uint64(b[offSmall+i*8:]))
+	}
+	in.Large = int64(binary.LittleEndian.Uint64(b[offLarge:]))
+	slen := int(binary.LittleEndian.Uint16(b[offSymLen:]))
+	if slen > MaxSymlink {
+		return in, ErrBadInode
+	}
+	if slen > 0 {
+		in.Symlink = string(b[offSymData : offSymData+slen])
+	}
+	return in, nil
+}
+
+// encodeInode serializes an inode into the first 504 bytes of a
+// sector buffer (the version trailer is left untouched).
+func encodeInode(in Inode, b []byte) {
+	for i := 0; i < offSymData; i++ {
+		b[i] = 0
+	}
+	binary.LittleEndian.PutUint16(b[offType:], uint16(in.Type))
+	binary.LittleEndian.PutUint16(b[offNlink:], in.Nlink)
+	binary.LittleEndian.PutUint64(b[offSize:], uint64(in.Size))
+	binary.LittleEndian.PutUint64(b[offMtime:], uint64(in.Mtime))
+	binary.LittleEndian.PutUint64(b[offCtime:], uint64(in.Ctime))
+	binary.LittleEndian.PutUint64(b[offAtime:], uint64(in.Atime))
+	for i := 0; i < NumDirect; i++ {
+		binary.LittleEndian.PutUint64(b[offSmall+i*8:], uint64(in.Small[i]))
+	}
+	binary.LittleEndian.PutUint64(b[offLarge:], uint64(in.Large))
+	binary.LittleEndian.PutUint16(b[offSymLen:], uint16(len(in.Symlink)))
+	copy(b[offSymData:], in.Symlink)
+	for i := offSymData + len(in.Symlink); i < offSymData+MaxSymlink; i++ {
+		b[i] = 0
+	}
+}
+
+// blockFor maps a byte offset within a file to its storage: which
+// small block slot (or the large block) and the offset within it.
+// It returns slot == -1 for the large block.
+func blockFor(off int64) (slot int, inBlock int64) {
+	if off < DirectBytes {
+		return int(off / BlockSize), off % BlockSize
+	}
+	return -1, off - DirectBytes
+}

@@ -1,0 +1,183 @@
+package fs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestRandomOpsAgainstModel drives one server with a random operation
+// sequence and checks every observable result against a trivial
+// in-memory model, then runs the offline checker. This catches whole
+// classes of bookkeeping bugs (sizes, directory membership, content)
+// that targeted tests miss.
+func TestRandomOpsAgainstModel(t *testing.T) {
+	tw := newTestWorld(t)
+	f := tw.mount(t, "ws1", nil)
+	rng := rand.New(rand.NewSource(12345))
+
+	type mfile struct {
+		data []byte
+	}
+	files := map[string]*mfile{} // path -> content (files only)
+	dirs := map[string]bool{"": true}
+
+	dirList := func() []string {
+		out := make([]string, 0, len(dirs))
+		for d := range dirs {
+			out = append(out, d)
+		}
+		sort.Strings(out)
+		return out
+	}
+	fileList := func() []string {
+		out := make([]string, 0, len(files))
+		for p := range files {
+			out = append(out, p)
+		}
+		sort.Strings(out)
+		return out
+	}
+	pick := func(list []string) string { return list[rng.Intn(len(list))] }
+
+	const ops = 250
+	for i := 0; i < ops; i++ {
+		switch op := rng.Intn(10); {
+		case op < 3: // create a file
+			d := pick(dirList())
+			p := fmt.Sprintf("%s/f%03d", d, i)
+			err := f.Create(p)
+			if files[p] == nil && err != nil {
+				t.Fatalf("op %d create %s: %v", i, p, err)
+			}
+			if files[p] == nil {
+				files[p] = &mfile{}
+			}
+		case op < 4: // mkdir
+			d := pick(dirList())
+			p := fmt.Sprintf("%s/d%03d", d, i)
+			if err := f.Mkdir(p); err != nil {
+				t.Fatalf("op %d mkdir %s: %v", i, p, err)
+			}
+			dirs[p] = true
+		case op < 6: // write a random span
+			if len(files) == 0 {
+				continue
+			}
+			p := pick(fileList())
+			h, err := f.Open(p)
+			if err != nil {
+				t.Fatalf("op %d open %s: %v", i, p, err)
+			}
+			off := rng.Int63n(96 << 10)
+			n := rng.Intn(16<<10) + 1
+			data := make([]byte, n)
+			rng.Read(data)
+			if _, err := h.WriteAt(data, off); err != nil {
+				t.Fatalf("op %d write %s: %v", i, p, err)
+			}
+			m := files[p]
+			if int64(len(m.data)) < off+int64(n) {
+				grown := make([]byte, off+int64(n))
+				copy(grown, m.data)
+				m.data = grown
+			}
+			copy(m.data[off:], data)
+		case op < 7: // truncate
+			if len(files) == 0 {
+				continue
+			}
+			p := pick(fileList())
+			h, err := f.Open(p)
+			if err != nil {
+				t.Fatalf("op %d open %s: %v", i, p, err)
+			}
+			m := files[p]
+			size := int64(0)
+			if len(m.data) > 0 {
+				size = rng.Int63n(int64(len(m.data)) + 1)
+			}
+			if err := h.Truncate(size); err != nil {
+				t.Fatalf("op %d truncate %s: %v", i, p, err)
+			}
+			m.data = append([]byte(nil), m.data[:size]...)
+		case op < 8: // remove a file
+			if len(files) == 0 {
+				continue
+			}
+			p := pick(fileList())
+			if err := f.Remove(p); err != nil {
+				t.Fatalf("op %d remove %s: %v", i, p, err)
+			}
+			delete(files, p)
+		case op < 9: // rename a file into a random dir
+			if len(files) == 0 {
+				continue
+			}
+			src := pick(fileList())
+			dst := fmt.Sprintf("%s/r%03d", pick(dirList()), i)
+			if err := f.Rename(src, dst); err != nil {
+				t.Fatalf("op %d rename %s %s: %v", i, src, dst, err)
+			}
+			files[dst] = files[src]
+			delete(files, src)
+		default: // verify a random file fully
+			if len(files) == 0 {
+				continue
+			}
+			p := pick(fileList())
+			m := files[p]
+			h, err := f.Open(p)
+			if err != nil {
+				t.Fatalf("op %d open %s: %v", i, p, err)
+			}
+			size, err := h.Size()
+			if err != nil || size != int64(len(m.data)) {
+				t.Fatalf("op %d size %s = %d want %d (err %v)", i, p, size, len(m.data), err)
+			}
+			got := make([]byte, size)
+			if size > 0 {
+				if _, err := h.ReadAt(got, 0); err != nil && err != io.EOF {
+					t.Fatalf("op %d read %s: %v", i, p, err)
+				}
+			}
+			if !bytes.Equal(got, m.data) {
+				t.Fatalf("op %d content mismatch on %s", i, p)
+			}
+		}
+	}
+
+	// Final verification of everything.
+	for p, m := range files {
+		h, err := f.Open(p)
+		if err != nil {
+			t.Fatalf("final open %s: %v", p, err)
+		}
+		got := make([]byte, len(m.data))
+		if len(got) > 0 {
+			if _, err := h.ReadAt(got, 0); err != nil && err != io.EOF {
+				t.Fatalf("final read %s: %v", p, err)
+			}
+		}
+		if !bytes.Equal(got, m.data) {
+			t.Fatalf("final content mismatch on %s", p)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Check(tw.client("model-check"), tw.vd, tw.lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rep.Problems {
+		t.Errorf("fsck: %s %s", p.Kind, p.Msg)
+	}
+	if rep.Files != len(files) || rep.Dirs != len(dirs) {
+		t.Fatalf("fsck sees %d files/%d dirs, model has %d/%d",
+			rep.Files, rep.Dirs, len(files), len(dirs))
+	}
+}

@@ -1,0 +1,90 @@
+package fs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestLockServerPartitionTolerated: a minority lock server partition
+// must not interrupt file service (§6: "the lock service continues
+// operation as long as a majority of lock servers are up and in
+// communication").
+func TestLockServerPartitionTolerated(t *testing.T) {
+	tw := newTestWorld(t)
+	f := tw.mount(t, "ws1", nil)
+	writeFile(t, f, "/before", []byte("pre-partition"))
+
+	// Cut one lock server off entirely.
+	for _, suffix := range []string{".lock", ".px", ".hb"} {
+		tw.w.Net.Isolate("ls2" + suffix)
+	}
+	// Give the survivors time to notice and reassign ls2's groups.
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		st := tw.locks[0].State()
+		if !st.Alive["ls2"] {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Service continues: new files, reads, metadata.
+	writeFile(t, f, "/during", []byte("mid-partition"))
+	if got := readFile(t, f, "/during"); string(got) != "mid-partition" {
+		t.Fatalf("read during partition: %q", got)
+	}
+	// Heal; the lock server rejoins transparently on restart-style
+	// recovery driven by its own heartbeats.
+	for _, suffix := range []string{".lock", ".px", ".hb"} {
+		tw.w.Net.Heal("ls2" + suffix)
+	}
+	tw.locks[2].Restart()
+	writeFile(t, f, "/after", []byte("post-heal"))
+	if got := readFile(t, f, "/after"); string(got) != "post-heal" {
+		t.Fatalf("read after heal: %q", got)
+	}
+}
+
+// TestPetalServerLossDoesNotInterruptFS: one Petal server (of three)
+// crashing is fully masked by replication at the FS level.
+func TestPetalServerLossDoesNotInterruptFS(t *testing.T) {
+	tw := newTestWorld(t)
+	f := tw.mount(t, "ws1", nil)
+	data := bytes.Repeat([]byte{3}, 128<<10)
+	writeFile(t, f, "/replicated", data)
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	tw.petals[2].Crash()
+	// Wait for liveness to propagate so writes stop timing out on the
+	// dead primary.
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		st := tw.petals[0].State()
+		if !st.Alive["p2"] {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := readFile(t, f, "/replicated"); !bytes.Equal(got, data) {
+		t.Fatal("read with dead petal server returned wrong data")
+	}
+	writeFile(t, f, "/degraded-write", []byte("written degraded"))
+	if got := readFile(t, f, "/degraded-write"); string(got) != "written degraded" {
+		t.Fatalf("degraded write readback: %q", got)
+	}
+	// Restart: the server resyncs and the system is whole again.
+	tw.petals[2].Restart()
+	deadline = time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := tw.petals[0].State()
+		if st.Alive["p2"] {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	writeFile(t, f, "/whole-again", []byte("ok"))
+	if got := readFile(t, f, "/whole-again"); string(got) != "ok" {
+		t.Fatalf("post-rejoin write: %q", got)
+	}
+}

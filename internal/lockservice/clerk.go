@@ -1,0 +1,753 @@
+package lockservice
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"frangipani/internal/rpc"
+	"frangipani/internal/sim"
+)
+
+// clkLock is the clerk-side state of one lock.
+type clkLock struct {
+	mode          Mode // granted mode
+	want          Mode // highest mode local waiters need
+	users         int  // FS operations currently inside the lock
+	revokePending bool
+	revokeTo      Mode
+	revoking      bool // flush callback in flight
+	lastReq       sim.Time
+	lastReqMode   Mode // mode of the last transmitted request
+	lastUsed      sim.Time
+	// epoch advances on every release/downgrade; grants echoing an
+	// older epoch answered a request from a previous tenancy of this
+	// lock and must be ignored.
+	epoch int64
+}
+
+// Clerk is the lock service module linked into each Frangipani
+// server ("a clerk module linked into each Frangipani server", §6).
+// Locks are sticky: Unlock releases the caller's use but the clerk
+// keeps the grant until some other clerk needs a conflicting lock,
+// at which point the revoke callback (cache flush / invalidate) runs
+// and the lock is downgraded or released.
+type Clerk struct {
+	machine string
+	table   string
+	w       *sim.World
+	cfg     Config
+	ep      *rpc.Endpoint
+	servers []string
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	locks     map[uint64]*clkLock
+	epochGen  int64         // source of per-lock request epochs
+	groupVer  map[int]int64 // fencing floor per lock group
+	state     GState
+	stateOK   bool
+	leaseID   uint64
+	logSlot   int
+	acks      map[string]sim.Time
+	opened    bool
+	closed    bool
+	leaseLost bool
+	cancels   []func()
+
+	// onRevoke runs before a lock is downgraded (to Shared) or
+	// released (to None): flush dirty data, then invalidate on full
+	// release. It must not call back into the clerk for this lock.
+	onRevoke func(lock uint64, to Mode)
+	// onRecover replays a dead server's log; see paper §4.
+	onRecover func(dead string, deadSlot int) error
+	// onLeaseLost poisons the file system (paper §6: "Frangipani
+	// turns on an internal flag that causes all subsequent requests
+	// from user programs to return an error").
+	onLeaseLost func()
+
+	// Trace, when set, receives debug events.
+	Trace func(format string, args ...any)
+}
+
+func (c *Clerk) trace(format string, args ...any) {
+	if c.Trace != nil {
+		c.Trace(format, args...)
+	}
+}
+
+// NewClerk creates a clerk for one machine and lock table on the
+// world's simulated network. Callbacks must be installed before Open.
+func NewClerk(w *sim.World, machine, table string, servers []string, cfg Config) *Clerk {
+	return NewClerkWithCarrier(w, machine, table, servers, cfg, rpc.SimCarrier{Net: w.Net})
+}
+
+// NewClerkWithCarrier creates a clerk on an arbitrary message carrier.
+func NewClerkWithCarrier(w *sim.World, machine, table string, servers []string, cfg Config, carrier rpc.Carrier) *Clerk {
+	c := &Clerk{
+		machine:  machine,
+		table:    table,
+		w:        w,
+		cfg:      cfg,
+		servers:  append([]string(nil), servers...),
+		locks:    make(map[uint64]*clkLock),
+		acks:     make(map[string]sim.Time),
+		groupVer: make(map[int]int64),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.ep = rpc.NewEndpoint(ClerkAddr(machine), carrier, w.Clock, c.handle)
+	return c
+}
+
+// SetCallbacks installs the FS integration hooks.
+func (c *Clerk) SetCallbacks(onRevoke func(lock uint64, to Mode),
+	onRecover func(dead string, deadSlot int) error, onLeaseLost func()) {
+	c.mu.Lock()
+	c.onRevoke = onRevoke
+	c.onRecover = onRecover
+	c.onLeaseLost = onLeaseLost
+	c.mu.Unlock()
+}
+
+// Machine returns the clerk's machine name (its identity to the lock
+// service).
+func (c *Clerk) Machine() string { return c.machine }
+
+// Open contacts the lock service, opens the table, and starts lease
+// renewal. It returns the assigned log slot.
+func (c *Clerk) Open() error {
+	var resp OpenResp
+	ok := false
+	for _, s := range c.servers {
+		r, err := c.ep.Call(Addr(s), OpenReq{Clerk: c.machine, Table: c.table}, 180*time.Second)
+		if err != nil {
+			continue
+		}
+		if or, isOpen := r.(OpenResp); isOpen && or.OK {
+			resp = or
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return ErrNoServer
+	}
+	now := c.w.Clock.Now()
+	c.mu.Lock()
+	c.leaseID = resp.LeaseID
+	c.logSlot = resp.LogSlot
+	c.opened = true
+	for _, s := range c.servers {
+		c.acks[s] = now
+	}
+	c.mu.Unlock()
+	_ = c.refreshState()
+	idle := c.cfg.IdleDiscard
+	if idle <= 0 {
+		idle = DefaultIdleDiscard
+	}
+	c.cancels = append(c.cancels,
+		c.w.Clock.Tick(c.cfg.LeaseDuration/3, c.renew),
+		c.w.Clock.Tick(c.cfg.RevokeRetry, c.retryRequests),
+		c.w.Clock.Tick(idle/4, func() { c.discardIdle(idle) }),
+	)
+	return nil
+}
+
+// discardIdle releases sticky grants unused for longer than idle,
+// bounding lock memory (§6). Discard runs through the same path as a
+// server revoke, so covered dirty data is flushed first.
+func (c *Clerk) discardIdle(idle sim.Duration) {
+	now := c.w.Clock.Now()
+	c.mu.Lock()
+	if c.closed || c.leaseLost {
+		c.mu.Unlock()
+		return
+	}
+	var victims []uint64
+	for id, l := range c.locks {
+		idleLong := sim.Duration(now-l.lastUsed) > idle
+		quiet := l.users == 0 && l.want <= l.mode && !l.revokePending && !l.revoking
+		if l.mode > None && quiet && idleLong {
+			victims = append(victims, id)
+		} else if l.mode == None && quiet && idleLong {
+			// Fully released and forgotten: reclaim the entry itself.
+			delete(c.locks, id)
+		}
+	}
+	for _, id := range victims {
+		l := c.locks[id]
+		l.revokePending = true
+		l.revokeTo = None
+		l.revoking = true
+	}
+	c.mu.Unlock()
+	for _, id := range victims {
+		go c.processRevoke(id)
+	}
+}
+
+// LeaseID returns the lease identifier from Open.
+func (c *Clerk) LeaseID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.leaseID
+}
+
+// LogSlot returns the private log slot assigned at Open; Frangipani
+// derives its log location from it (§7).
+func (c *Clerk) LogSlot() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.logSlot
+}
+
+// Close cleanly closes the table (unmount).
+func (c *Clerk) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	for _, cancel := range c.cancels {
+		cancel()
+	}
+	for _, s := range c.servers {
+		_ = c.ep.Cast(Addr(s), CloseReq{Clerk: c.machine, Table: c.table})
+	}
+	c.ep.Close()
+}
+
+// Abandon simulates a crash of the clerk's machine: tickers stop and
+// the endpoint goes silent WITHOUT closing the session, so the lock
+// service sees the lease expire and initiates recovery.
+func (c *Clerk) Abandon() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	for _, cancel := range c.cancels {
+		cancel()
+	}
+	c.ep.Close()
+}
+
+// refreshState fetches the lock-group assignment.
+func (c *Clerk) refreshState() error {
+	for _, s := range c.servers {
+		r, err := c.ep.Call(Addr(s), StateReq{}, 60*time.Second)
+		if err != nil {
+			continue
+		}
+		if sr, ok := r.(StateResp); ok && sr.OK {
+			c.mu.Lock()
+			if !c.stateOK || sr.State.Version > c.state.Version {
+				c.state = sr.State
+				c.stateOK = true
+			}
+			c.mu.Unlock()
+			return nil
+		}
+	}
+	return ErrNoServer
+}
+
+func (c *Clerk) serverFor(lock uint64) string {
+	c.mu.Lock()
+	ok := c.stateOK
+	srv := ""
+	if ok {
+		srv = c.state.ServerFor(lock)
+	}
+	c.mu.Unlock()
+	if !ok {
+		if c.refreshState() != nil {
+			return ""
+		}
+		c.mu.Lock()
+		srv = c.state.ServerFor(lock)
+		c.mu.Unlock()
+	}
+	return srv
+}
+
+// Lock acquires the lock in the given mode, blocking until granted.
+// It returns ErrLeaseLost if the clerk's lease expires meanwhile.
+func (c *Clerk) Lock(lock uint64, mode Mode) error {
+	c.mu.Lock()
+	for {
+		if c.closed {
+			c.mu.Unlock()
+			return ErrClosed
+		}
+		if c.leaseLost {
+			c.mu.Unlock()
+			return ErrLeaseLost
+		}
+		l := c.lockLocked(lock)
+		if l.mode >= mode && !l.revokePending && !l.revoking {
+			l.users++
+			l.lastUsed = c.w.Clock.Now()
+			c.mu.Unlock()
+			return nil
+		}
+		if l.want < mode {
+			l.want = mode
+		}
+		// While a revoke is pending or in flight, no request may be
+		// sent: a request racing ahead of our release would make the
+		// server re-grant from stale holder state.
+		if !l.revokePending && !l.revoking && c.requestLocked(lock, l) {
+			// The lock was dropped to send the request; re-check the
+			// grant condition before sleeping so a grant that raced
+			// the send is not missed.
+			continue
+		}
+		c.cond.Wait()
+	}
+}
+
+// TryLock acquires without blocking on the network: it succeeds only
+// if the clerk already holds a sufficient sticky grant.
+func (c *Clerk) TryLock(lock uint64, mode Mode) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.leaseLost {
+		return false
+	}
+	l := c.lockLocked(lock)
+	if l.mode >= mode && !l.revokePending && !l.revoking {
+		l.users++
+		l.lastUsed = c.w.Clock.Now()
+		return true
+	}
+	return false
+}
+
+// Unlock releases the caller's use. The grant itself remains cached
+// (sticky) until revoked.
+func (c *Clerk) Unlock(lock uint64) {
+	c.mu.Lock()
+	l := c.locks[lock]
+	if l == nil || l.users == 0 {
+		c.mu.Unlock()
+		return
+	}
+	l.users--
+	start := l.users == 0 && l.revokePending && !l.revoking
+	if start {
+		l.revoking = true
+	}
+	c.mu.Unlock()
+	if start {
+		go c.processRevoke(lock)
+	}
+	c.cond.Broadcast()
+}
+
+// Held reports the clerk's current granted mode for a lock.
+func (c *Clerk) Held(lock uint64) Mode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if l := c.locks[lock]; l != nil {
+		return l.mode
+	}
+	return None
+}
+
+// HeldCount returns the number of sticky grants currently cached.
+func (c *Clerk) HeldCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, l := range c.locks {
+		if l.mode > None {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Clerk) lockLocked(lock uint64) *clkLock {
+	l := c.locks[lock]
+	if l == nil {
+		c.epochGen++
+		l = &clkLock{epoch: c.epochGen}
+		c.locks[lock] = l
+	}
+	return l
+}
+
+// requestLocked (re)sends the lock request, rate-limited. The send
+// happens with the clerk lock held: the network assigns its FIFO
+// sequence synchronously inside Send, so holding the lock guarantees
+// that requests and releases reach the wire in state-machine order.
+func (c *Clerk) requestLocked(lock uint64, l *clkLock) bool {
+	now := c.w.Clock.Now()
+	// Rate-limit retransmissions — but never suppress the FIRST
+	// request (lastReq == 0 means "never sent") or an UPGRADE (a
+	// request for a stronger mode than the last one transmitted).
+	if l.lastReq != 0 && l.want <= l.lastReqMode &&
+		sim.Duration(now-l.lastReq) < c.cfg.RevokeRetry/2 {
+		return false
+	}
+	if !c.stateOK {
+		c.trace("request lock=%x suppressed: no routing state", lock)
+		return false // routing unknown; retry ticker will refresh
+	}
+	l.lastReq = now
+	l.lastReqMode = l.want
+	srv := c.state.ServerFor(lock)
+	c.trace("request lock=%x mode=%v -> %s", lock, l.want, srv)
+	_ = c.ep.Cast(Addr(srv), ReqMsg{Clerk: c.machine, Table: c.table, Lock: lock, Mode: l.want, Epoch: l.epoch})
+	return true
+}
+
+// sendReleaseLocked transmits a release/downgrade with the clerk lock
+// held, for the same ordering reason as requestLocked.
+func (c *Clerk) sendReleaseLocked(lock uint64, newMode Mode) {
+	if !c.stateOK {
+		return // server will re-revoke; we will answer then
+	}
+	srv := c.state.ServerFor(lock)
+	_ = c.ep.Cast(Addr(srv), RelMsg{Clerk: c.machine, Table: c.table, Lock: lock, NewMode: newMode})
+}
+
+// retryRequests retransmits wants that have not been granted and
+// refreshes routing state occasionally.
+func (c *Clerk) retryRequests() {
+	c.mu.Lock()
+	if c.closed || c.leaseLost {
+		c.mu.Unlock()
+		return
+	}
+	anyPending := false
+	for _, l := range c.locks {
+		if l.want > l.mode && !l.revoking && !l.revokePending {
+			anyPending = true
+			break
+		}
+	}
+	c.mu.Unlock()
+	if !anyPending {
+		return
+	}
+	_ = c.refreshState() // routing may have changed under us
+	c.mu.Lock()
+	for id, l := range c.locks {
+		if l.want > l.mode && !l.revoking && !l.revokePending {
+			l.lastReq = 0 // force through the rate limit
+			c.requestLocked(id, l)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// processRevoke runs the FS flush callback and then complies with the
+// pending revoke.
+func (c *Clerk) processRevoke(lock uint64) {
+	c.trace("processRevoke lock=%x", lock)
+	c.mu.Lock()
+	l := c.locks[lock]
+	if l == nil {
+		c.mu.Unlock()
+		return
+	}
+	target := l.revokeTo
+	cb := c.onRevoke
+	c.mu.Unlock()
+
+	if cb != nil {
+		cb(lock, target)
+	}
+
+	c.mu.Lock()
+	c.trace("revoke done lock=%x -> %v", lock, target)
+	l.mode = target
+	l.want = None // local waiters re-establish their wants
+	// New tenancy: grants answering requests from before this
+	// release/downgrade are void, and the retransmission rate limiter
+	// must not throttle the tenancy's first request.
+	c.epochGen++
+	l.epoch = c.epochGen
+	l.lastReq = 0
+	l.lastReqMode = None
+	// Transmit the release before clearing the revoking flag, with
+	// the clerk lock held: no request of ours can overtake it.
+	c.sendReleaseLocked(lock, target)
+	l.revokePending = false
+	l.revoking = false
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// handle serves server-to-clerk messages.
+func (c *Clerk) handle(from string, body any) any {
+	switch m := body.(type) {
+	case GrantMsg:
+		c.onGrant(m)
+	case RevokeMsg:
+		c.onRevokeMsg(m)
+	case SyncReq:
+		return c.onSync(m)
+	case RecoverReq:
+		c.onRecoverReq(m)
+	case RenewAck:
+		c.mu.Lock()
+		c.acks[m.Server] = c.w.Clock.Now()
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+func (c *Clerk) onGrant(m GrantMsg) {
+	if m.Table != c.table {
+		return
+	}
+	c.mu.Lock()
+	if c.leaseLost || c.closed {
+		c.sendReleaseLocked(m.Lock, None)
+		c.mu.Unlock()
+		return
+	}
+	c.trace("grant lock=%x mode=%v ver=%d epoch=%d floor=%d", m.Lock, m.Mode, m.Ver, m.Epoch, c.groupVer[Group(m.Lock)])
+	if m.Ver != 0 && m.Ver < c.groupVer[Group(m.Lock)] {
+		// Grant from a deposed lock server that has not yet applied
+		// the reassignment; the new server's sync is authoritative.
+		c.mu.Unlock()
+		return
+	}
+	l := c.lockLocked(m.Lock)
+	if m.Epoch != 0 && m.Epoch != l.epoch {
+		// This grant answers a retransmitted request from before our
+		// last release/downgrade; the server's re-grant raced our
+		// release and is void.
+		c.trace("grant lock=%x stale epoch %d != %d, ignored", m.Lock, m.Epoch, l.epoch)
+		c.mu.Unlock()
+		return
+	}
+	if l.revokePending || l.revoking {
+		// A grant crossing our in-progress release is stale; our
+		// release corrects the server's view and the want will be
+		// re-requested afterwards.
+		c.mu.Unlock()
+		return
+	}
+	if m.Mode > l.mode {
+		l.mode = m.Mode
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+func (c *Clerk) onRevokeMsg(m RevokeMsg) {
+	if m.Table != c.table {
+		return
+	}
+	c.trace("revokeMsg lock=%x to=%v", m.Lock, m.NewMode)
+	c.mu.Lock()
+	l := c.locks[m.Lock]
+	if l == nil || l.mode <= m.NewMode {
+		mode := None
+		wanting := false
+		if l != nil {
+			mode = l.mode
+			wanting = l.want > l.mode || l.revokePending || l.revoking
+		}
+		// Already compliant. Refresh the server's view in case our
+		// release was lost — but never while a request of ours is
+		// outstanding: this release could overtake that request's
+		// grant and cancel it on the server.
+		if !wanting {
+			c.sendReleaseLocked(m.Lock, mode)
+		}
+		c.mu.Unlock()
+		return
+	}
+	if l.revokePending && l.revokeTo <= m.NewMode {
+		c.mu.Unlock()
+		return // already working on an equal-or-stronger revoke
+	}
+	l.revokePending = true
+	if !l.revoking || m.NewMode < l.revokeTo {
+		l.revokeTo = m.NewMode
+	}
+	start := l.users == 0 && !l.revoking
+	if start {
+		l.revoking = true
+	}
+	c.mu.Unlock()
+	if start {
+		go c.processRevoke(m.Lock)
+	}
+}
+
+func (c *Clerk) onSync(m SyncReq) any {
+	if m.Table != c.table {
+		return nil
+	}
+	groups := make(map[int]bool, len(m.Groups))
+	for _, g := range m.Groups {
+		groups[g] = true
+	}
+	c.mu.Lock()
+	for g := range groups {
+		if m.Ver > c.groupVer[g] {
+			c.groupVer[g] = m.Ver
+		}
+	}
+	var held []HeldLock
+	for id, l := range c.locks {
+		if l.mode > None && groups[Group(id)] {
+			held = append(held, HeldLock{Lock: id, Mode: l.mode})
+		}
+	}
+	c.mu.Unlock()
+	go func() { _ = c.refreshState() }() // assignment changed; relearn routing
+	_ = c.ep.Cast(Addr(m.Server), SyncResp{Clerk: c.machine, Seq: m.Seq, Locks: held})
+	return nil
+}
+
+func (c *Clerk) onRecoverReq(m RecoverReq) {
+	if m.Table != c.table {
+		return
+	}
+	c.mu.Lock()
+	cb := c.onRecover
+	c.mu.Unlock()
+	go func() {
+		if cb != nil {
+			if err := cb(m.Dead, m.DeadSlot); err != nil {
+				return // coordinator will retry or reassign
+			}
+		}
+		_ = c.ep.Cast(Addr(m.Server), RecoveryDone{
+			Clerk: c.machine, Table: c.table, Dead: m.Dead, Seq: m.Seq,
+		})
+	}()
+}
+
+// renew broadcasts lease renewals and checks expiry. The lease is
+// considered valid while a majority of lock servers acknowledged a
+// renewal within the lease window, which keeps the clerk's view
+// conservative across partitions.
+func (c *Clerk) renew() {
+	c.mu.Lock()
+	if c.closed || c.leaseLost || !c.opened {
+		c.mu.Unlock()
+		return
+	}
+	lease := c.leaseID
+	c.mu.Unlock()
+
+	var wg sync.WaitGroup
+	var invalid int32
+	for _, s := range c.servers {
+		wg.Add(1)
+		go func(s string) {
+			defer wg.Done()
+			r, err := c.ep.Call(Addr(s), RenewMsg{Clerk: c.machine, LeaseID: lease}, c.cfg.LeaseDuration/3)
+			if err != nil {
+				return
+			}
+			if ack, ok := r.(RenewAck); ok && ack.LeaseID == lease {
+				if !ack.Valid {
+					atomic.AddInt32(&invalid, 1)
+					return
+				}
+				c.mu.Lock()
+				c.acks[ack.Server] = c.w.Clock.Now()
+				c.mu.Unlock()
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	// A majority of servers positively disowning the session means it
+	// was expired and recovered while we were stalled: the lease is
+	// gone, whatever our ack arithmetic says.
+	if int(invalid) >= len(c.servers)/2+1 {
+		c.trace("lease invalidated by majority")
+		c.loseLease()
+		return
+	}
+	if c.ExpiresAt() <= int64(c.w.Clock.Now()) {
+		c.loseLease()
+	}
+}
+
+// ExpiresAt returns the simulated time (ns) at which the lease
+// expires: the majority-rank renewal ack plus the lease duration.
+func (c *Clerk) ExpiresAt() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.servers)
+	times := make([]sim.Time, 0, n)
+	for _, s := range c.servers {
+		times = append(times, c.acks[s])
+	}
+	// k-th largest with k = majority: the newest time at which a
+	// majority had acked.
+	for i := 0; i < len(times); i++ {
+		for j := i + 1; j < len(times); j++ {
+			if times[j] > times[i] {
+				times[i], times[j] = times[j], times[i]
+			}
+		}
+	}
+	k := n/2 + 1
+	base := times[k-1]
+	return int64(base) + int64(c.cfg.LeaseDuration)
+}
+
+// LeaseValid reports whether the lease will still be valid margin
+// from now; Frangipani checks this "before attempting any write to
+// Petal" (§6).
+func (c *Clerk) LeaseValid(margin sim.Duration) bool {
+	c.mu.Lock()
+	lost := c.leaseLost
+	c.mu.Unlock()
+	if lost {
+		return false
+	}
+	return c.ExpiresAt() > int64(c.w.Clock.Now())+int64(margin)
+}
+
+// loseLease discards all lock and triggers the FS poison callback.
+func (c *Clerk) loseLease() {
+	c.mu.Lock()
+	if c.leaseLost {
+		c.mu.Unlock()
+		return
+	}
+	c.leaseLost = true
+	c.locks = make(map[uint64]*clkLock)
+	cb := c.onLeaseLost
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	if cb != nil {
+		cb()
+	}
+}
+
+// LeaseLost reports whether the lease has been lost.
+func (c *Clerk) LeaseLost() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.leaseLost
+}
+
+// MemoryBytes reports the paper's clerk-side lock memory model (232
+// bytes per cached lock).
+func (c *Clerk) MemoryBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int64(len(c.locks)) * ClerkBytesPerLock
+}

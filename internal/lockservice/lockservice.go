@@ -1,0 +1,430 @@
+// Package lockservice implements Frangipani's distributed lock
+// service (paper §6): multiple-reader/single-writer locks organized
+// into tables named by ASCII strings, with individual locks named by
+// 64-bit integers. Locks are sticky — a clerk retains a lock until
+// another clerk needs a conflicting one. Client failure is handled
+// with leases; lock server failure is handled by reassigning lock
+// groups across the surviving servers (via Paxos-replicated global
+// state) and recovering lock state from the clerks.
+//
+// Clerks and lock servers communicate via asynchronous messages
+// (request, grant, revoke, release) rather than RPC, exactly as the
+// paper prescribes; every handler is idempotent so the protocol
+// tolerates message loss.
+package lockservice
+
+import (
+	"errors"
+	"time"
+
+	"frangipani/internal/rpc"
+)
+
+// Wire-type registration so the protocol runs over TCP carriers.
+func init() {
+	for _, v := range []any{
+		ReqMsg{}, RelMsg{}, GrantMsg{}, RevokeMsg{},
+		OpenReq{}, OpenResp{}, CloseReq{},
+		RenewMsg{}, RenewAck{}, RenewalsReq{}, RenewalsResp{},
+		StateReq{}, StateResp{}, SyncReq{}, SyncResp{}, HeldLock{},
+		RecoverReq{}, RecoveryDone{},
+		CmdOpenSession{}, CmdCloseSession{}, CmdMarkDead{}, CmdSetAlive{},
+		GState{}, Session{},
+	} {
+		rpc.RegisterType(v)
+	}
+}
+
+// Mode is a lock mode. Modes are ordered: None < Shared < Exclusive.
+type Mode int
+
+// Lock modes.
+const (
+	None Mode = iota
+	Shared
+	Exclusive
+)
+
+func (m Mode) String() string {
+	switch m {
+	case None:
+		return "none"
+	case Shared:
+		return "shared"
+	case Exclusive:
+		return "exclusive"
+	}
+	return "invalid"
+}
+
+// NumGroups is the number of lock groups: "locks are partitioned into
+// about one hundred distinct lock groups, and are assigned to servers
+// by group, not individually" (§6).
+const NumGroups = 100
+
+// Group maps a lock id to its group.
+func Group(lock uint64) int { return int(lock % NumGroups) }
+
+// Timing defaults, in simulated time. The paper's lease is 30 s with
+// a 15 s safety margin.
+const (
+	DefaultLeaseDuration = 30 * time.Second
+	DefaultLeaseMargin   = 15 * time.Second
+	// DefaultIdleDiscard matches §6: "to avoid consuming too much
+	// memory because of sticky locks, clerks discard locks that have
+	// not been used for a long time (1 hour)".
+	DefaultIdleDiscard = time.Hour
+)
+
+// Errors returned by clerk operations.
+var (
+	ErrLeaseLost = errors.New("lockservice: lease lost")
+	ErrClosed    = errors.New("lockservice: clerk closed")
+	ErrNoServer  = errors.New("lockservice: no lock server reachable")
+)
+
+// Per-lock memory cost constants from the paper, used only for the
+// stats the service reports: "the server allocates a block of 112
+// bytes per lock, in addition to 104 bytes per clerk that has an
+// outstanding or granted lock request. Each client uses up 232 bytes
+// per lock."
+const (
+	ServerBytesPerLock  = 112
+	ServerBytesPerClerk = 104
+	ClerkBytesPerLock   = 232
+)
+
+// Wire messages. Clerk -> server: ReqMsg, RelMsg, OpenReq, CloseReq,
+// RenewMsg, SyncResp, RecoveryDone. Server -> clerk: GrantMsg,
+// RevokeMsg, RenewAck, SyncReq, RecoverReq.
+type (
+	// ReqMsg asks for a lock in the given mode. Clerks retransmit it
+	// until granted. Epoch is the clerk's per-lock request epoch: it
+	// advances every time the clerk releases or downgrades, so a
+	// grant answering an old (retransmitted) request cannot be
+	// mistaken for a grant of the current request after the clerk has
+	// since given the lock up.
+	ReqMsg struct {
+		Clerk string
+		Table string
+		Lock  uint64
+		Mode  Mode
+		Epoch int64
+	}
+	// RelMsg releases (NewMode=None) or downgrades (NewMode=Shared) a
+	// held lock.
+	RelMsg struct {
+		Clerk   string
+		Table   string
+		Lock    uint64
+		NewMode Mode
+	}
+	// GrantMsg tells a clerk it now holds the lock in Mode. Ver is
+	// the granting server's global-state version; clerks reject
+	// grants older than the version at which the lock's group was
+	// last synced to a new server, fencing grants from a deposed
+	// server that has not yet applied the reassignment.
+	GrantMsg struct {
+		Table string
+		Lock  uint64
+		Mode  Mode
+		Ver   int64
+		Epoch int64 // echo of the granted request's epoch
+	}
+	// RevokeMsg asks a holder to reduce its hold to NewMode (None or
+	// Shared). Servers retransmit while the conflict persists.
+	RevokeMsg struct {
+		Table   string
+		Lock    uint64
+		NewMode Mode
+	}
+	// OpenReq opens a lock table and establishes a lease (a Call).
+	OpenReq struct {
+		Clerk string
+		Table string
+	}
+	// OpenResp returns the lease identifier and the log slot assigned
+	// to this session; Frangipani uses the slot to pick its private
+	// log ("determines which portion of the log space to use from the
+	// lease identifier", §7).
+	OpenResp struct {
+		OK      bool
+		Err     string
+		LeaseID uint64
+		LogSlot int
+	}
+	// CloseReq closes a session cleanly (unmount).
+	CloseReq struct {
+		Clerk string
+		Table string
+	}
+	// RenewMsg renews a lease; broadcast by clerks to all servers.
+	RenewMsg struct {
+		Clerk   string
+		LeaseID uint64
+	}
+	// RenewAck confirms a renewal from one server. Valid is false
+	// when the server knows of no live session with that lease — the
+	// session expired and was recovered — so a zombie clerk that was
+	// stalled past its lease learns its fate at the next renewal
+	// instead of continuing on stale locks.
+	RenewAck struct {
+		Server  string
+		LeaseID uint64
+		Valid   bool
+	}
+	// RenewalsReq asks a lock server for its lease-renewal table (a
+	// Call). The coordinator's expiry sweep aggregates these so that
+	// a session is expired only when a MAJORITY of lock servers has
+	// not heard from the clerk — the same rule the clerk itself uses
+	// to judge its lease, so the two views cannot diverge under
+	// asymmetric message loss.
+	RenewalsReq struct{}
+	// RenewalsResp carries clerk -> last-renewal simulated time (ns).
+	RenewalsResp struct {
+		OK    bool
+		Times map[string]int64
+	}
+	// StateReq asks a lock server for the current global state (a
+	// Call); clerks use it to learn group assignments.
+	StateReq struct{}
+	// StateResp carries the global state.
+	StateResp struct {
+		OK    bool
+		State GState
+	}
+	// SyncReq asks a clerk to report its held locks in the given
+	// groups so a server taking over those groups can rebuild state.
+	SyncReq struct {
+		Server string
+		Table  string
+		Groups []int
+		Seq    uint64
+		Ver    int64 // state version of the gaining server (fencing floor)
+	}
+	// SyncResp reports held locks (mode > None only).
+	SyncResp struct {
+		Clerk string
+		Seq   uint64
+		Locks []HeldLock
+	}
+	// HeldLock is one (lock, mode) pair in a SyncResp.
+	HeldLock struct {
+		Lock uint64
+		Mode Mode
+	}
+	// RecoverReq asks a live clerk to run crash recovery for a dead
+	// one. The receiving clerk is implicitly granted ownership of the
+	// dead clerk's log and locks for the duration.
+	RecoverReq struct {
+		Server   string
+		Table    string
+		Dead     string
+		DeadSlot int
+		Seq      uint64
+	}
+	// RecoveryDone reports that log replay finished; the lock service
+	// may release the dead clerk's locks.
+	RecoveryDone struct {
+		Clerk string
+		Table string
+		Dead  string
+		Seq   uint64
+	}
+)
+
+// Global-state commands, decided through Paxos.
+type (
+	// CmdOpenSession registers a clerk's open table and assigns a
+	// lease id and log slot deterministically.
+	CmdOpenSession struct {
+		Clerk string
+		Table string
+	}
+	// CmdCloseSession removes a session (clean close, or after
+	// recovery of a dead clerk completes).
+	CmdCloseSession struct {
+		Clerk string
+		Table string
+	}
+	// CmdMarkDead flags a session as expired; its locks stay frozen
+	// until recovery completes and CmdCloseSession is applied.
+	CmdMarkDead struct {
+		Clerk string
+		Table string
+	}
+	// CmdSetAlive records a lock server liveness transition and
+	// reassigns groups: "the locks are always reassigned such that
+	// the number of locks served by each server is balanced, the
+	// number of reassignments is minimized, and each lock is served
+	// by exactly one lock server" (§6).
+	CmdSetAlive struct {
+		Server string
+		Alive  bool
+	}
+)
+
+// Session is one open (clerk, table) pair.
+type Session struct {
+	Clerk   string
+	Table   string
+	LeaseID uint64
+	LogSlot int
+	Dead    bool // lease expired; recovery in progress
+}
+
+// GState is the lock service's Paxos-replicated global state: "a list
+// of lock servers, a list of locks that each is responsible for
+// serving, and a list of clerks that have opened but not yet closed
+// each lock table" (§6).
+type GState struct {
+	Servers    []string
+	Alive      map[string]bool
+	Assignment [NumGroups]string  // group -> lock server
+	Sessions   map[string]Session // key: clerk+"/"+table
+	NextLease  uint64
+	Version    int64
+}
+
+func sessionKey(clerk, table string) string { return clerk + "/" + table }
+
+// NewGState builds the initial state with all servers alive and
+// groups balanced across them.
+func NewGState(servers []string) GState {
+	g := GState{
+		Servers:   append([]string(nil), servers...),
+		Alive:     make(map[string]bool, len(servers)),
+		Sessions:  make(map[string]Session),
+		NextLease: 1,
+	}
+	for _, s := range servers {
+		g.Alive[s] = true
+	}
+	g.reassign()
+	return g
+}
+
+// Clone returns a deep copy.
+func (g GState) Clone() GState {
+	out := g
+	out.Servers = append([]string(nil), g.Servers...)
+	out.Alive = make(map[string]bool, len(g.Alive))
+	for k, v := range g.Alive {
+		out.Alive[k] = v
+	}
+	out.Sessions = make(map[string]Session, len(g.Sessions))
+	for k, v := range g.Sessions {
+		out.Sessions[k] = v
+	}
+	return out
+}
+
+// Apply executes one command deterministically.
+func (g *GState) Apply(cmd any) {
+	g.Version++
+	switch c := cmd.(type) {
+	case CmdOpenSession:
+		key := sessionKey(c.Clerk, c.Table)
+		if _, ok := g.Sessions[key]; ok {
+			return // idempotent re-open keeps the existing lease
+		}
+		g.Sessions[key] = Session{
+			Clerk:   c.Clerk,
+			Table:   c.Table,
+			LeaseID: g.NextLease,
+			LogSlot: g.freeSlot(c.Table),
+		}
+		g.NextLease++
+	case CmdCloseSession:
+		delete(g.Sessions, sessionKey(c.Clerk, c.Table))
+	case CmdMarkDead:
+		key := sessionKey(c.Clerk, c.Table)
+		if s, ok := g.Sessions[key]; ok {
+			s.Dead = true
+			g.Sessions[key] = s
+		}
+	case CmdSetAlive:
+		if _, ok := g.Alive[c.Server]; ok {
+			g.Alive[c.Server] = c.Alive
+			g.reassign()
+		}
+	}
+}
+
+// freeSlot returns the lowest log slot unused by open sessions of a
+// table.
+func (g *GState) freeSlot(table string) int {
+	used := make(map[int]bool)
+	for _, s := range g.Sessions {
+		if s.Table == table {
+			used[s.LogSlot] = true
+		}
+	}
+	for i := 0; ; i++ {
+		if !used[i] {
+			return i
+		}
+	}
+}
+
+// reassign rebalances groups over the alive servers with minimal
+// movement: groups whose server is still alive stay put; orphaned
+// groups go to the least-loaded alive servers.
+func (g *GState) reassign() {
+	var alive []string
+	for _, s := range g.Servers {
+		if g.Alive[s] {
+			alive = append(alive, s)
+		}
+	}
+	if len(alive) == 0 {
+		return // total outage: keep the old map; nobody is serving anyway
+	}
+	load := make(map[string]int, len(alive))
+	for _, s := range alive {
+		load[s] = 0
+	}
+	var orphans []int
+	for i, s := range g.Assignment {
+		if _, ok := load[s]; ok {
+			load[s]++
+		} else {
+			orphans = append(orphans, i)
+		}
+	}
+	for _, i := range orphans {
+		best := alive[0]
+		for _, s := range alive[1:] {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		g.Assignment[i] = best
+		load[best]++
+	}
+	// Rebalance from overloaded to underloaded servers to keep counts
+	// within one of each other.
+	target := NumGroups / len(alive)
+	for _, under := range alive {
+		for load[under] < target {
+			moved := false
+			for i, s := range g.Assignment {
+				if s != under && load[s] > target {
+					g.Assignment[i] = under
+					load[s]--
+					load[under]++
+					moved = true
+					if load[under] >= target {
+						break
+					}
+				}
+			}
+			if !moved {
+				break
+			}
+		}
+	}
+}
+
+// ServerFor returns the lock server assigned to a lock.
+func (g *GState) ServerFor(lock uint64) string { return g.Assignment[Group(lock)] }

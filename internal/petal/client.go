@@ -1,0 +1,434 @@
+package petal
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"frangipani/internal/rpc"
+	"frangipani/internal/sim"
+)
+
+// Client is the Petal device driver: it "hides the distributed nature
+// of Petal, making Petal look like an ordinary local disk to higher
+// layers" (§2.1). It routes chunk operations to replicas, fails over
+// when a server is down, and refreshes its view of the global state
+// when routing goes stale.
+type Client struct {
+	name    string
+	ep      *rpc.Endpoint
+	clock   *sim.Clock
+	servers []string
+
+	mu      sync.Mutex
+	state   GlobalState
+	stateOK bool
+
+	// leaseInfo, when set, stamps writes with the holder's lease
+	// expiration and id so guarded Petal servers can reject writes
+	// from expired leases (§6's hazard fix).
+	leaseInfo func() (expireAt int64, leaseID uint64)
+
+	// opDeadline bounds one logical chunk operation including retries.
+	opDeadline sim.Duration
+	// parallelism bounds concurrent chunk transfers for large I/Os.
+	parallelism int
+}
+
+// ClientAddr returns the network name of a machine's Petal driver.
+func ClientAddr(machine string) string { return machine + ".petalc" }
+
+// NewClient creates a Petal driver on the named machine. servers is
+// the Petal server list.
+func NewClient(w *sim.World, machine string, servers []string) *Client {
+	c := &Client{
+		name:        machine,
+		clock:       w.Clock,
+		servers:     append([]string(nil), servers...),
+		opDeadline:  30 * time.Second,
+		parallelism: 8,
+	}
+	c.ep = rpc.NewEndpoint(ClientAddr(machine), rpc.SimCarrier{Net: w.Net}, w.Clock, nil)
+	return c
+}
+
+// SetLeaseInfo installs the callback used to stamp writes with lease
+// information. Pass nil to disable stamping.
+func (c *Client) SetLeaseInfo(f func() (expireAt int64, leaseID uint64)) {
+	c.mu.Lock()
+	c.leaseInfo = f
+	c.mu.Unlock()
+}
+
+// Close releases the client's endpoint.
+func (c *Client) Close() { c.ep.Close() }
+
+// refreshState pulls the global state, keeping the highest-version
+// view any answering server returns. Servers apply Paxos decisions
+// asynchronously, so a single probe could return a lagging view.
+func (c *Client) refreshState() error {
+	got := false
+	var best GlobalState
+	for _, s := range c.servers {
+		resp, err := c.ep.Call(DataAddr(s), StateReq{}, dataTimeout)
+		if err != nil {
+			continue
+		}
+		if sr, ok := resp.(StateResp); ok && sr.OK {
+			if !got || sr.State.Version > best.Version {
+				best = sr.State
+				got = true
+			}
+		}
+	}
+	if !got {
+		return ErrUnavailable
+	}
+	c.mu.Lock()
+	if !c.stateOK || best.Version >= c.state.Version {
+		c.state = best
+		c.stateOK = true
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *Client) getState() (GlobalState, error) {
+	c.mu.Lock()
+	ok := c.stateOK
+	st := c.state
+	c.mu.Unlock()
+	if ok {
+		return st, nil
+	}
+	if err := c.refreshState(); err != nil {
+		return GlobalState{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state, nil
+}
+
+// targets returns the replica servers for a chunk in preference
+// order: alive primary, then alive backup, then both regardless (the
+// state may be stale).
+func (c *Client) targets(st GlobalState, v VDiskID, chunk int64) []string {
+	p1, p2 := st.replicas(v, chunk)
+	var out []string
+	add := func(s string, mustBeAlive bool) {
+		if s == "" {
+			return
+		}
+		if mustBeAlive && !st.Alive[s] {
+			return
+		}
+		for _, x := range out {
+			if x == s {
+				return
+			}
+		}
+		out = append(out, s)
+	}
+	add(p1, true)
+	add(p2, true)
+	add(p1, false)
+	add(p2, false)
+	return out
+}
+
+// readChunk performs one intra-chunk read with failover and state
+// refresh until the op deadline.
+func (c *Client) readChunk(v VDiskID, chunk int64, off, length int, dst []byte) error {
+	deadline := c.clock.Now() + sim.Time(c.opDeadline)
+	var lastErr error
+	for {
+		st, err := c.getState()
+		if err == nil {
+			for _, srv := range c.targets(st, v, chunk) {
+				resp, err := c.ep.Call(DataAddr(srv), ReadReq{VDisk: v, Chunk: chunk, Off: off, Len: length}, dataTimeout)
+				if err != nil {
+					lastErr = err
+					continue
+				}
+				rr, ok := resp.(ReadResp)
+				if !ok {
+					continue
+				}
+				if !rr.OK {
+					if rr.Err == ErrNoSuchVDisk.Error() {
+						// Possibly stale directory: refresh and retry.
+						break
+					}
+					// Replica-local failure (e.g. a CRC error): fall
+					// over to the other replica, which "can ordinarily
+					// recover it" (§4).
+					lastErr = fmt.Errorf("petal read: %s", rr.Err)
+					continue
+				}
+				if rr.Data == nil {
+					clear(dst)
+				} else {
+					copy(dst, rr.Data)
+				}
+				return nil
+			}
+		}
+		if c.clock.Now() >= deadline {
+			if lastErr != nil {
+				return lastErr
+			}
+			return ErrUnavailable
+		}
+		_ = c.refreshState()
+		c.clock.Sleep(100 * time.Millisecond)
+	}
+}
+
+// writeChunk performs one intra-chunk write with failover.
+func (c *Client) writeChunk(v VDiskID, chunk int64, off int, data []byte) error {
+	c.mu.Lock()
+	li := c.leaseInfo
+	c.mu.Unlock()
+	// The in-memory transport passes payloads by reference and the
+	// caller may keep mutating its buffer (e.g. a cache page) after we
+	// return; snapshot the bytes here, where a real driver would DMA.
+	req := WriteReq{VDisk: v, Chunk: chunk, Off: off, Data: append([]byte(nil), data...)}
+	if li != nil {
+		req.ExpireAt, req.LeaseID = li()
+	}
+	deadline := c.clock.Now() + sim.Time(c.opDeadline)
+	for {
+		st, err := c.getState()
+		if err == nil {
+			// Stamp the epoch we are writing at so replicas lagging a
+			// snapshot wait for Paxos catch-up instead of writing into
+			// the frozen epoch.
+			if meta, ok := st.VDisks[v]; ok && !meta.ReadOnly {
+				req.Epoch = meta.Epoch
+			} else {
+				req.Epoch = 0
+			}
+			for _, srv := range c.targets(st, v, chunk) {
+				resp, err := c.ep.Call(DataAddr(srv), req, dataTimeout)
+				if err != nil {
+					continue
+				}
+				wr, ok := resp.(WriteResp)
+				if !ok {
+					continue
+				}
+				if wr.OK {
+					return nil
+				}
+				switch wr.Err {
+				case ErrNoSuchVDisk.Error(), ErrStaleEpoch.Error():
+					// stale directory or epoch; refresh below
+				case ErrLeaseExpired.Error():
+					return ErrLeaseExpired
+				default:
+					return fmt.Errorf("petal write: %s", wr.Err)
+				}
+				break
+			}
+		}
+		if c.clock.Now() >= deadline {
+			return ErrUnavailable
+		}
+		_ = c.refreshState()
+		c.clock.Sleep(100 * time.Millisecond)
+	}
+}
+
+// span describes one chunk-aligned piece of a larger I/O.
+type span struct {
+	chunk  int64
+	off    int
+	length int
+	bufOff int
+}
+
+func spans(off int64, length int) []span {
+	var out []span
+	bufOff := 0
+	for length > 0 {
+		chunk := off / ChunkSize
+		inOff := int(off % ChunkSize)
+		n := ChunkSize - inOff
+		if n > length {
+			n = length
+		}
+		out = append(out, span{chunk: chunk, off: inOff, length: n, bufOff: bufOff})
+		off += int64(n)
+		bufOff += n
+		length -= n
+	}
+	return out
+}
+
+// forEachSpan runs f over the spans with bounded parallelism,
+// returning the first error.
+func (c *Client) forEachSpan(sp []span, f func(span) error) error {
+	if len(sp) == 1 {
+		return f(sp[0])
+	}
+	sem := make(chan struct{}, c.parallelism)
+	errCh := make(chan error, len(sp))
+	var wg sync.WaitGroup
+	for _, s := range sp {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(s span) {
+			defer wg.Done()
+			errCh <- f(s)
+			<-sem
+		}(s)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read fills p from the virtual disk at byte offset off. Uncommitted
+// ranges read as zeros.
+func (c *Client) Read(v VDiskID, off int64, p []byte) error {
+	if off < 0 {
+		return ErrBounds
+	}
+	return c.forEachSpan(spans(off, len(p)), func(s span) error {
+		return c.readChunk(v, s.chunk, s.off, s.length, p[s.bufOff:s.bufOff+s.length])
+	})
+}
+
+// Write stores p at byte offset off, committing chunks as needed.
+func (c *Client) Write(v VDiskID, off int64, p []byte) error {
+	if off < 0 {
+		return ErrBounds
+	}
+	return c.forEachSpan(spans(off, len(p)), func(s span) error {
+		return c.writeChunk(v, s.chunk, s.off, p[s.bufOff:s.bufOff+s.length])
+	})
+}
+
+// admin submits a global-state command via any answering server.
+func (c *Client) admin(cmd Command) error {
+	var lastErr error = ErrUnavailable
+	for _, s := range c.servers {
+		resp, err := c.ep.Call(DataAddr(s), AdminReq{Cmd: cmd}, 120*time.Second)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		ar, ok := resp.(AdminResp)
+		if !ok {
+			continue
+		}
+		if !ar.OK {
+			return fmt.Errorf("petal admin: %s", ar.Err)
+		}
+		_ = c.refreshState()
+		return nil
+	}
+	return lastErr
+}
+
+// CreateVDisk creates a new writable virtual disk.
+func (c *Client) CreateVDisk(id VDiskID) error { return c.admin(CmdCreateVDisk{ID: id}) }
+
+// DeleteVDisk removes a virtual disk.
+func (c *Client) DeleteVDisk(id VDiskID) error { return c.admin(CmdDeleteVDisk{ID: id}) }
+
+// Snapshot creates a read-only, crash-consistent snapshot of parent
+// named snap: "Petal allows a client to create an exact copy of a
+// virtual disk at any point in time ... using copy-on-write
+// techniques" (§8).
+func (c *Client) Snapshot(parent, snap VDiskID) error {
+	return c.admin(CmdSnapshot{Parent: parent, Snap: snap})
+}
+
+// Decommit frees physical storage backing [off, off+length) of the
+// virtual disk. Only whole chunks fully inside the range are freed,
+// matching Petal's 64 KB decommit granularity.
+func (c *Client) Decommit(v VDiskID, off int64, length int64) error {
+	first := (off + ChunkSize - 1) / ChunkSize
+	last := (off+length)/ChunkSize - 1
+	if last < first {
+		return nil
+	}
+	// Every server sweeps its own committed chunks in the range; the
+	// request is O(1) on the wire and O(committed) at each server.
+	any := false
+	for _, srv := range c.servers {
+		resp, err := c.ep.Call(DataAddr(srv), DecommitReq{VDisk: v, FirstChunk: first, LastChunk: last}, dataTimeout)
+		if err != nil {
+			continue
+		}
+		if ar, ok := resp.(AdminResp); ok {
+			if !ar.OK {
+				return fmt.Errorf("petal decommit: %s", ar.Err)
+			}
+			any = true
+		}
+	}
+	if !any {
+		return ErrUnavailable
+	}
+	return nil
+}
+
+// ListChunks enumerates the committed chunk indexes of a vdisk by
+// querying every server; restore tooling uses it to copy only
+// committed space.
+func (c *Client) ListChunks(v VDiskID) ([]int64, error) {
+	seen := make(map[int64]bool)
+	any := false
+	for _, s := range c.servers {
+		resp, err := c.ep.Call(DataAddr(s), ListChunksReq{VDisk: v}, dataTimeout)
+		if err != nil {
+			continue
+		}
+		if lr, ok := resp.(ListChunksResp); ok {
+			any = true
+			for _, ch := range lr.Chunks {
+				seen[ch] = true
+			}
+		}
+	}
+	if !any {
+		return nil, ErrUnavailable
+	}
+	out := make([]int64, 0, len(seen))
+	for ch := range seen {
+		out = append(out, ch)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, nil
+}
+
+// State returns the client's (possibly refreshed) view of the global
+// state.
+func (c *Client) State() (GlobalState, error) { return c.getState() }
+
+// VDisk binds a client and a disk id into a handle with a local-disk
+// feel.
+type VDisk struct {
+	c  *Client
+	id VDiskID
+}
+
+// Open returns a handle for the named virtual disk.
+func (c *Client) Open(id VDiskID) *VDisk { return &VDisk{c: c, id: id} }
+
+// ID returns the vdisk name.
+func (d *VDisk) ID() VDiskID { return d.id }
+
+// ReadAt fills p at byte offset off.
+func (d *VDisk) ReadAt(p []byte, off int64) error { return d.c.Read(d.id, off, p) }
+
+// WriteAt stores p at byte offset off.
+func (d *VDisk) WriteAt(p []byte, off int64) error { return d.c.Write(d.id, off, p) }

@@ -1,0 +1,185 @@
+// Package petal implements the Petal distributed virtual disk service
+// (Lee & Thekkath, ASPLOS 1996) that Frangipani is layered on. A
+// Petal virtual disk provides a sparse 2^64-byte address space;
+// physical space is committed in 64 KB chunks on first write and can
+// be decommitted. Data is replicated on two servers chosen by a fixed
+// placement function; reads and writes fail over when a replica is
+// down, and a recovering server copies the writes it missed from its
+// partners before rejoining. Copy-on-write epochs provide the
+// crash-consistent snapshots that Frangipani's backup mechanism
+// (paper §8) relies on.
+//
+// The rarely-changing global state — server liveness and the virtual
+// disk directory — is replicated across the Petal servers with Paxos,
+// mirroring the paper's note that the lock service "reuses an
+// implementation of Paxos originally written for Petal".
+package petal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ChunkSize is Petal's commit/decommit granularity: "To keep its
+// internal data structures small, Petal commits and decommits space
+// in fairly large chunks, currently 64 KB" (§3).
+const ChunkSize = 64 << 10
+
+// VDiskID names a virtual disk. Snapshots are virtual disks too.
+type VDiskID string
+
+// Errors returned by the Petal client and servers.
+var (
+	ErrNoSuchVDisk   = errors.New("petal: no such virtual disk")
+	ErrVDiskExists   = errors.New("petal: virtual disk already exists")
+	ErrReadOnly      = errors.New("petal: virtual disk is read-only (snapshot)")
+	ErrUnavailable   = errors.New("petal: no replica reachable")
+	ErrLeaseExpired  = errors.New("petal: write rejected, lease expired")
+	ErrBounds        = errors.New("petal: I/O out of bounds")
+	ErrNotReplicated = errors.New("petal: replica count unsatisfiable")
+	ErrStaleEpoch    = errors.New("petal: write targets a pre-snapshot epoch")
+)
+
+// chunkKey identifies one replicated 64 KB chunk at one COW epoch.
+type chunkKey struct {
+	VDisk VDiskID
+	Chunk int64
+	Epoch int64
+}
+
+func (k chunkKey) String() string {
+	return fmt.Sprintf("%s/%d@%d", k.VDisk, k.Chunk, k.Epoch)
+}
+
+// fnv64 hashes a vdisk/chunk pair for placement.
+func fnv64(v VDiskID, chunk int64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(v); i++ {
+		h ^= uint64(v[i])
+		h *= prime
+	}
+	for i := 0; i < 8; i++ {
+		h ^= uint64(chunk >> (8 * i) & 0xff)
+		h *= prime
+	}
+	return h
+}
+
+// Wire messages for the Petal data and control path.
+type (
+	// ReadReq reads Len bytes at Off within one chunk of a vdisk.
+	ReadReq struct {
+		VDisk VDiskID
+		Chunk int64
+		Off   int
+		Len   int
+	}
+	// ReadResp carries data or an error string.
+	ReadResp struct {
+		OK   bool
+		Err  string
+		Data []byte
+	}
+	// WriteReq writes Data at Off within one chunk. Forwarded marks
+	// replica-to-replica propagation. ExpireAt optionally carries the
+	// writer's lease expiration (simulated ns); servers configured
+	// with a write guard reject requests whose lease has expired —
+	// the hazard fix proposed at the end of paper §6. LeaseID
+	// optionally identifies the writer's lock-service lease for the
+	// integrated validation variant.
+	WriteReq struct {
+		VDisk     VDiskID
+		Chunk     int64
+		Off       int
+		Data      []byte
+		Forwarded bool
+		ExpireAt  int64
+		LeaseID   uint64
+		// Epoch, when non-zero, is the vdisk epoch the writer intends
+		// to write at. A server lagging behind waits for its Paxos
+		// apply loop to catch up; a writer lagging behind a snapshot
+		// is told to refresh. Zero bypasses the check (server-local
+		// resolution), used only by in-process tests.
+		Epoch int64
+	}
+	// WriteResp acknowledges a write.
+	WriteResp struct {
+		OK  bool
+		Err string
+	}
+	// DecommitReq frees physical space for a chunk range of a vdisk.
+	DecommitReq struct {
+		VDisk      VDiskID
+		FirstChunk int64
+		LastChunk  int64
+	}
+	// AdminReq submits a global-state command (create/snapshot/...)
+	// through any Petal server.
+	AdminReq struct{ Cmd Command }
+	// AdminResp reports the outcome.
+	AdminResp struct {
+		OK  bool
+		Err string
+	}
+	// StateReq asks a server for the current global state.
+	StateReq struct{}
+	// StateResp returns a copy of the global state.
+	StateResp struct {
+		OK    bool
+		State GlobalState
+	}
+	// MissedListReq asks a partner which chunks the named server
+	// missed while it was down.
+	MissedListReq struct{ For string }
+	// MissedListResp lists the missed chunk keys.
+	MissedListResp struct{ Keys []chunkKey }
+	// ChunkFetchReq pulls a whole raw chunk during rejoin sync.
+	ChunkFetchReq struct{ Key chunkKey }
+	// ChunkFetchResp returns the chunk (nil if unknown).
+	ChunkFetchResp struct {
+		OK   bool
+		Data []byte
+	}
+	// MissedAckReq tells a partner the named keys were resynced and
+	// can be dropped from its missed set.
+	MissedAckReq struct {
+		For  string
+		Keys []chunkKey
+	}
+	// PushChunkReq installs a whole raw chunk on the receiver; the
+	// anti-entropy path uses it to repair replicas that missed
+	// forwarded writes.
+	PushChunkReq struct {
+		Key  chunkKey
+		Data []byte
+	}
+	// ListChunksReq asks a server which chunks of a vdisk it stores
+	// as primary (restore tooling enumerates committed space with it).
+	ListChunksReq struct{ VDisk VDiskID }
+	// ListChunksResp lists committed chunk indexes at the current
+	// epoch view.
+	ListChunksResp struct{ Chunks []int64 }
+	// UsageReq asks for committed physical bytes on a server.
+	UsageReq struct{}
+	// UsageResp reports committed bytes.
+	UsageResp struct{ Bytes int64 }
+)
+
+// WireSize implementations so the simulated network charges the data
+// path realistically.
+
+// WireSize reports the payload size of a read response.
+func (r ReadResp) WireSize() int { return len(r.Data) }
+
+// WireSize reports the payload size of a write request.
+func (w WriteReq) WireSize() int { return len(w.Data) }
+
+// WireSize reports the payload size of a chunk fetch.
+func (c ChunkFetchResp) WireSize() int { return len(c.Data) }
+
+// WireSize reports the payload size of a chunk push.
+func (p PushChunkReq) WireSize() int { return len(p.Data) }

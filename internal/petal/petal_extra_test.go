@@ -1,0 +1,79 @@
+package petal
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestNoReplicateAblation: with NoReplicate set, a write lands on
+// exactly one server (the Figure 7 ablation knob).
+func TestNoReplicateAblation(t *testing.T) {
+	tc := newTestCluster(t, 3, func(cfg *ServerConfig) {
+		cfg.NoReplicate = true
+	})
+	d := tc.mustCreate(t, "vol")
+	if err := d.WriteAt(patternBuf(ChunkSize, 4), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Give any (erroneous) forwarding a moment, then count copies.
+	tc.w.Clock.Sleep(2 * time.Second)
+	holders := 0
+	total := int64(0)
+	for _, s := range tc.servers {
+		total += s.CommittedBytes()
+		if s.CommittedBytes() > 0 {
+			holders++
+		}
+	}
+	if holders != 1 || total != ChunkSize {
+		t.Fatalf("NoReplicate: %d holders, %d bytes committed; want 1 holder, %d bytes",
+			holders, total, ChunkSize)
+	}
+	// Round trip still works.
+	got := make([]byte, ChunkSize)
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, patternBuf(ChunkSize, 4)) {
+		t.Fatal("round trip mismatch without replication")
+	}
+}
+
+// TestListChunksEnumeratesCommitted covers the restore-path helper.
+func TestListChunksEnumeratesCommitted(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	d := tc.mustCreate(t, "vol")
+	for _, chunk := range []int64{0, 5, 1000} {
+		if err := d.WriteAt([]byte{1}, chunk*ChunkSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chunks, err := tc.client.ListChunks("vol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 5, 1000}
+	if len(chunks) != len(want) {
+		t.Fatalf("chunks = %v, want %v", chunks, want)
+	}
+	for i := range want {
+		if chunks[i] != want[i] {
+			t.Fatalf("chunks = %v, want %v", chunks, want)
+		}
+	}
+	// Snapshots enumerate their frozen view.
+	if err := tc.client.Snapshot("vol", "s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt([]byte{1}, 7*ChunkSize); err != nil {
+		t.Fatal(err)
+	}
+	snapChunks, err := tc.client.ListChunks("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snapChunks) != 3 {
+		t.Fatalf("snapshot chunks = %v, want the 3 pre-snapshot chunks", snapChunks)
+	}
+}

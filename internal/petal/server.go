@@ -1,0 +1,514 @@
+package petal
+
+import (
+	"sync"
+	"time"
+
+	"frangipani/internal/paxos"
+	"frangipani/internal/rpc"
+	"frangipani/internal/sim"
+)
+
+// ServerConfig sizes one Petal server.
+type ServerConfig struct {
+	// Disks per server and per-disk parameters. The paper's servers
+	// each had 9 RZ29 drives.
+	NumDisks   int
+	DiskParams sim.DiskParams
+	// NVRAM, if > 0, places a PrestoServe-like write buffer of this
+	// many bytes in front of every disk.
+	NVRAM int
+	// CPU cost model for the data path.
+	CPUPerOp sim.Duration
+	CPUPerKB sim.Duration
+	// Heartbeat timing for the failure detector.
+	HeartbeatEvery sim.Duration
+	SuspectAfter   sim.Duration
+	// WriteGuard, if non-nil, can reject writes (lease validation).
+	// It receives the request and the current simulated time in ns.
+	WriteGuard func(req WriteReq, now int64) bool
+	// NoReplicate disables write forwarding to the partner replica —
+	// an ablation knob for the Figure 7 replication-cost study. Only
+	// safe in failure-free runs.
+	NoReplicate bool
+}
+
+// DefaultServerConfig mirrors the paper's testbed per-server sizing,
+// scaled to the given per-disk capacity.
+func DefaultServerConfig(diskCapacity int64) ServerConfig {
+	return ServerConfig{
+		NumDisks:       9,
+		DiskParams:     sim.DefaultDiskParams(diskCapacity),
+		CPUPerOp:       30 * time.Microsecond,
+		CPUPerKB:       1 * time.Microsecond,
+		HeartbeatEvery: 250 * time.Millisecond,
+		SuspectAfter:   1500 * time.Millisecond,
+	}
+}
+
+// Server is one Petal storage server. Servers replicate chunk writes
+// pairwise, share the virtual-disk directory via Paxos, and detect
+// each other's failures by heartbeat.
+type Server struct {
+	name string
+	w    *sim.World
+	cfg  ServerConfig
+	ep   *rpc.Endpoint
+	px   *paxos.Node
+	det  *paxos.Detector
+	cpu  *sim.CPU
+	st   *store
+
+	mu      sync.Mutex
+	state   GlobalState
+	missed  map[string]map[chunkKey]bool // partner -> keys it missed
+	crashed bool
+	closed  bool
+
+	rejoinMu sync.Mutex // serializes rejoin passes
+	aeCancel func()
+	nvs      []*sim.NVRAM
+}
+
+const dataTimeout = 5 * time.Second
+
+// DataAddr returns the network name of a server's data endpoint.
+func DataAddr(name string) string { return name + ".petal" }
+
+// NewServer creates (but does not interconnect) one Petal server.
+// peers must list all Petal server names including this one; the set
+// is fixed for the life of the cluster, as in our Paxos layer.
+func NewServer(w *sim.World, name string, peers []string, cfg ServerConfig) *Server {
+	s := &Server{
+		name:   name,
+		w:      w,
+		cfg:    cfg,
+		cpu:    w.CPU(name),
+		state:  NewGlobalState(peers),
+		missed: make(map[string]map[chunkKey]bool),
+	}
+	var disks []*sim.Disk
+	var nvs []*sim.NVRAM
+	for i := 0; i < cfg.NumDisks; i++ {
+		d := sim.NewDisk(w.Clock, name, cfg.DiskParams)
+		disks = append(disks, d)
+		if cfg.NVRAM > 0 {
+			nvs = append(nvs, sim.NewNVRAM(w.Clock, d, cfg.NVRAM, 50*time.Microsecond))
+		} else {
+			nvs = append(nvs, nil)
+		}
+	}
+	s.nvs = nvs
+	s.st = newStore(disks, nvs)
+
+	carrier := rpc.SimCarrier{Net: w.Net}
+	s.px = paxos.NewNode(name, peers, carrier, w.Clock, s.applyCmd)
+	s.det = paxos.NewDetector(name, peers, carrier, w.Clock,
+		cfg.HeartbeatEvery, cfg.SuspectAfter, s.onLiveness)
+	s.ep = rpc.NewEndpoint(DataAddr(name), carrier, w.Clock, s.handle)
+	s.aeCancel = w.Clock.Tick(cfg.SuspectAfter, s.antiEntropy)
+	return s
+}
+
+// Name returns the server's name.
+func (s *Server) Name() string { return s.name }
+
+// Disks exposes the server's raw disks for fault injection in tests.
+func (s *Server) Disks() []*sim.Disk { return s.st.disks }
+
+// CommittedBytes reports committed physical space on this server.
+func (s *Server) CommittedBytes() int64 { return s.st.committedBytes() }
+
+// State returns a copy of the server's view of the global state.
+func (s *Server) State() GlobalState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state.Clone()
+}
+
+// applyCmd is the Paxos applier: all servers apply the same commands
+// in the same order.
+func (s *Server) applyCmd(seq int64, cmd paxos.Command) {
+	s.mu.Lock()
+	_ = s.state.Apply(cmd)
+	s.mu.Unlock()
+}
+
+// onLiveness reacts to failure-detector transitions. The lowest-named
+// live server proposes the liveness change into the global state;
+// proposals are idempotent there.
+func (s *Server) onLiveness(peer string, alive bool) {
+	if s.isDown() {
+		return
+	}
+	if alive {
+		// The rejoiner proposes itself alive after resync; nothing to
+		// do here.
+		return
+	}
+	s.mu.Lock()
+	already := !s.state.Alive[peer]
+	s.mu.Unlock()
+	if already || !s.amCoordinator() {
+		return
+	}
+	go func() {
+		_ = s.px.Submit(CmdSetAlive{Server: peer, Alive: false}, 60*time.Second)
+	}()
+}
+
+// amCoordinator reports whether this server is the lowest-named one
+// it currently believes alive.
+func (s *Server) amCoordinator() bool {
+	for _, p := range s.det.Members() {
+		if p == s.name {
+			return true
+		}
+		if s.det.Alive(p) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) isDown() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed || s.closed
+}
+
+// handle serves the Petal data and control protocol.
+func (s *Server) handle(from string, body any) any {
+	if s.isDown() {
+		return nil
+	}
+	switch m := body.(type) {
+	case ReadReq:
+		return s.onRead(m)
+	case WriteReq:
+		return s.onWrite(m, from)
+	case DecommitReq:
+		return s.onDecommit(m)
+	case AdminReq:
+		return s.onAdmin(m)
+	case StateReq:
+		s.mu.Lock()
+		st := s.state.Clone()
+		s.mu.Unlock()
+		return StateResp{OK: true, State: st}
+	case MissedListReq:
+		s.mu.Lock()
+		var keys []chunkKey
+		for k := range s.missed[m.For] {
+			keys = append(keys, k)
+		}
+		s.mu.Unlock()
+		return MissedListResp{Keys: keys}
+	case ChunkFetchReq:
+		data, ok, _ := s.st.getRaw(m.Key)
+		return ChunkFetchResp{OK: ok, Data: data}
+	case MissedAckReq:
+		s.mu.Lock()
+		for _, k := range m.Keys {
+			delete(s.missed[m.For], k)
+		}
+		s.mu.Unlock()
+		return AdminResp{OK: true}
+	case PushChunkReq:
+		if err := s.st.putRaw(m.Key, m.Data); err != nil {
+			return AdminResp{Err: err.Error()}
+		}
+		return AdminResp{OK: true}
+	case ListChunksReq:
+		s.mu.Lock()
+		base, ceiling, _, err := s.state.resolve(m.VDisk)
+		s.mu.Unlock()
+		if err != nil {
+			return ListChunksResp{}
+		}
+		return ListChunksResp{Chunks: s.st.visibleChunks(base, ceiling)}
+	case UsageReq:
+		return UsageResp{Bytes: s.st.committedBytes()}
+	}
+	return nil
+}
+
+// antiEntropy pushes missed chunks to partners that are reachable
+// again, repairing replication broken by transient forward failures.
+// It runs periodically; rejoin after a declared crash uses the pull
+// path instead.
+func (s *Server) antiEntropy() {
+	if s.isDown() {
+		return
+	}
+	s.mu.Lock()
+	var partners []string
+	for p, keys := range s.missed {
+		if len(keys) > 0 && s.state.Alive[p] {
+			partners = append(partners, p)
+		}
+	}
+	s.mu.Unlock()
+	for _, p := range partners {
+		s.mu.Lock()
+		var keys []chunkKey
+		for k := range s.missed[p] {
+			keys = append(keys, k)
+		}
+		s.mu.Unlock()
+		for _, key := range keys {
+			data, ok, err := s.st.getRaw(key)
+			if err != nil || !ok {
+				continue
+			}
+			resp, err := s.ep.Call(DataAddr(p), PushChunkReq{Key: key, Data: data}, dataTimeout)
+			if err != nil {
+				break // partner still unreachable; try next period
+			}
+			if ar, ok := resp.(AdminResp); ok && ar.OK {
+				s.mu.Lock()
+				delete(s.missed[p], key)
+				s.mu.Unlock()
+			}
+		}
+	}
+}
+
+func (s *Server) chargeCPU(bytes int) {
+	s.cpu.Use(s.cfg.CPUPerOp + sim.Duration(bytes/1024)*s.cfg.CPUPerKB)
+}
+
+func (s *Server) onRead(m ReadReq) ReadResp {
+	s.chargeCPU(m.Len)
+	s.mu.Lock()
+	base, ceiling, _, err := s.state.resolve(m.VDisk)
+	s.mu.Unlock()
+	if err != nil {
+		return ReadResp{Err: err.Error()}
+	}
+	if m.Off < 0 || m.Len < 0 || m.Off+m.Len > ChunkSize {
+		return ReadResp{Err: ErrBounds.Error()}
+	}
+	data, committed, err := s.st.readChunk(base, m.Chunk, ceiling, m.Off, m.Len)
+	if err != nil {
+		return ReadResp{Err: err.Error()}
+	}
+	if !committed {
+		return ReadResp{OK: true, Data: nil} // hole: reads as zeros
+	}
+	return ReadResp{OK: true, Data: data}
+}
+
+func (s *Server) onWrite(m WriteReq, from string) WriteResp {
+	s.chargeCPU(len(m.Data))
+	if g := s.cfg.WriteGuard; g != nil && !m.Forwarded {
+		if !g(m, int64(s.w.Clock.Now())) {
+			return WriteResp{Err: ErrLeaseExpired.Error()}
+		}
+	}
+	var base VDiskID
+	var ceiling int64
+	var writable bool
+	var st GlobalState
+	// If the writer stamped an epoch, wait for our Paxos apply loop to
+	// catch up to it before resolving; reject writers that are behind
+	// a snapshot (they must refresh and retry at the new epoch).
+	waitLimit := s.w.Clock.Now() + sim.Time(dataTimeout)
+	for {
+		s.mu.Lock()
+		var err error
+		base, ceiling, writable, err = s.state.resolve(m.VDisk)
+		st = s.state
+		s.mu.Unlock()
+		if err != nil {
+			return WriteResp{Err: err.Error()}
+		}
+		if m.Epoch == 0 || ceiling >= m.Epoch {
+			break
+		}
+		if s.w.Clock.Now() >= waitLimit || s.isDown() {
+			return WriteResp{Err: ErrUnavailable.Error()}
+		}
+		s.w.Clock.Sleep(20 * time.Millisecond)
+	}
+	if !writable {
+		return WriteResp{Err: ErrReadOnly.Error()}
+	}
+	if m.Epoch != 0 && ceiling > m.Epoch {
+		return WriteResp{Err: ErrStaleEpoch.Error()}
+	}
+	if m.Epoch != 0 {
+		ceiling = m.Epoch
+	}
+	if m.Off < 0 || m.Off+len(m.Data) > ChunkSize {
+		return WriteResp{Err: ErrBounds.Error()}
+	}
+	if err := s.st.writeChunk(base, m.Chunk, ceiling, m.Off, m.Data); err != nil {
+		return WriteResp{Err: err.Error()}
+	}
+	if !m.Forwarded && !s.cfg.NoReplicate {
+		s.replicate(st, base, ceiling, m)
+	}
+	return WriteResp{OK: true}
+}
+
+// replicate forwards a client write to the partner replica, recording
+// a missed write if the partner is down or unreachable.
+func (s *Server) replicate(st GlobalState, base VDiskID, epoch int64, m WriteReq) {
+	p1, p2 := st.replicas(base, m.Chunk)
+	partner := p1
+	if p1 == s.name {
+		partner = p2
+	}
+	if partner == "" || partner == s.name {
+		return
+	}
+	fw := m
+	fw.Forwarded = true
+	fw.Epoch = epoch
+	s.mu.Lock()
+	partnerAlive := st.Alive[partner]
+	s.mu.Unlock()
+	if partnerAlive {
+		resp, err := s.ep.Call(DataAddr(partner), fw, dataTimeout)
+		if err == nil {
+			if wr, ok := resp.(WriteResp); ok && wr.OK {
+				return
+			}
+		}
+	}
+	// Partner missed this write; remember the exact chunk key so
+	// rejoin (or anti-entropy) can copy the whole chunk image.
+	key := chunkKey{base, m.Chunk, epoch}
+	s.mu.Lock()
+	mm := s.missed[partner]
+	if mm == nil {
+		mm = make(map[chunkKey]bool)
+		s.missed[partner] = mm
+	}
+	mm[key] = true
+	s.mu.Unlock()
+}
+
+func (s *Server) onDecommit(m DecommitReq) AdminResp {
+	s.chargeCPU(0)
+	s.mu.Lock()
+	base, ceiling, writable, err := s.state.resolve(m.VDisk)
+	s.mu.Unlock()
+	if err != nil {
+		return AdminResp{Err: err.Error()}
+	}
+	if !writable {
+		return AdminResp{Err: ErrReadOnly.Error()}
+	}
+	s.st.decommitRange(base, m.FirstChunk, m.LastChunk, ceiling)
+	return AdminResp{OK: true}
+}
+
+func (s *Server) onAdmin(m AdminReq) AdminResp {
+	// Pre-validate against our current state for a friendly error;
+	// the authoritative application happens via Paxos on all servers.
+	s.mu.Lock()
+	probe := s.state.Clone()
+	s.mu.Unlock()
+	if err := probe.Apply(m.Cmd); err != nil {
+		return AdminResp{Err: err.Error()}
+	}
+	if err := s.px.Submit(m.Cmd, 60*time.Second); err != nil {
+		return AdminResp{Err: err.Error()}
+	}
+	return AdminResp{OK: true}
+}
+
+// Crash stops the server: data path, Paxos, and heartbeats all go
+// silent. Disk contents are retained.
+func (s *Server) Crash() {
+	s.mu.Lock()
+	s.crashed = true
+	s.mu.Unlock()
+	s.px.Crash()
+	s.det.Crash()
+}
+
+// Restart revives a crashed server. It resynchronizes the writes it
+// missed from its partners and then proposes itself alive; clients
+// route reads back to it only after that point.
+func (s *Server) Restart() {
+	s.mu.Lock()
+	s.crashed = false
+	s.mu.Unlock()
+	s.px.Recover()
+	s.det.Recover()
+	go s.rejoin()
+}
+
+// rejoin pulls missed chunks from every partner, then proposes
+// aliveness.
+func (s *Server) rejoin() {
+	s.rejoinMu.Lock()
+	defer s.rejoinMu.Unlock()
+	for _, p := range s.det.Members() {
+		if p == s.name || s.isDown() {
+			continue
+		}
+		resp, err := s.ep.Call(DataAddr(p), MissedListReq{For: s.name}, dataTimeout)
+		if err != nil {
+			continue
+		}
+		ml, ok := resp.(MissedListResp)
+		if !ok {
+			continue
+		}
+		var synced []chunkKey
+		for _, key := range ml.Keys {
+			fr, err := s.ep.Call(DataAddr(p), ChunkFetchReq{Key: key}, dataTimeout)
+			if err != nil {
+				continue
+			}
+			cf, ok := fr.(ChunkFetchResp)
+			if !ok || !cf.OK {
+				continue
+			}
+			if err := s.st.putRaw(key, cf.Data); err == nil {
+				synced = append(synced, key)
+			}
+		}
+		if len(synced) > 0 {
+			_, _ = s.ep.Call(DataAddr(p), MissedAckReq{For: s.name, Keys: synced}, dataTimeout)
+		}
+	}
+	_ = s.px.Submit(CmdSetAlive{Server: s.name, Alive: true}, 60*time.Second)
+}
+
+// DebugReadChunk reads length bytes at off within a chunk directly
+// from this server's local store, bypassing routing — a diagnostic
+// aid for replica-divergence investigations.
+func (s *Server) DebugReadChunk(v VDiskID, chunk int64, off, length int) ([]byte, bool) {
+	s.mu.Lock()
+	base, ceiling, _, err := s.state.resolve(v)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, false
+	}
+	data, ok, err := s.st.readChunk(base, chunk, ceiling, off, length)
+	if err != nil {
+		return nil, false
+	}
+	return data, ok
+}
+
+// Close shuts the server down permanently.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.aeCancel()
+	s.det.Stop()
+	s.px.Close()
+	s.ep.Close()
+	for _, nv := range s.nvs {
+		if nv != nil {
+			go nv.Close() // drains asynchronously; the disks are dead anyway
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package rpc
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCPCarrier implements Carrier over real TCP connections, so the
+// Petal, lock service, and Frangipani protocols can run between
+// actual processes instead of the simulated network. Each registered
+// host gets a listener; senders keep one persistent connection per
+// (from, to) pair, which preserves the per-pair FIFO ordering the
+// lock protocol depends on. Message bodies travel as gob; every
+// concrete wire type must be registered with RegisterType (the
+// protocol packages do so in their init functions).
+//
+// The name directory maps logical host names to TCP addresses. In a
+// single process (tests) it fills itself as hosts register; across
+// processes, seed it with SetAddr.
+type TCPCarrier struct {
+	mu        sync.Mutex
+	dir       map[string]string // logical name -> host:port
+	listeners map[string]net.Listener
+	recvs     map[string]func(from string, body any, size int)
+	conns     map[string]*tcpConn // from|to -> connection
+	closed    bool
+}
+
+type tcpConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+// tcpFrame is the wire envelope.
+type tcpFrame struct {
+	From string
+	Body any
+}
+
+// RegisterType makes a concrete message type encodable on TCP
+// carriers (a thin wrapper over gob.Register).
+func RegisterType(v any) { gob.Register(v) }
+
+func init() {
+	gob.Register(envelope{})
+}
+
+// NewTCPCarrier returns an empty carrier.
+func NewTCPCarrier() *TCPCarrier {
+	return &TCPCarrier{
+		dir:       make(map[string]string),
+		listeners: make(map[string]net.Listener),
+		recvs:     make(map[string]func(string, any, int)),
+		conns:     make(map[string]*tcpConn),
+	}
+}
+
+// SetAddr seeds the name directory (for cross-process deployments).
+func (t *TCPCarrier) SetAddr(name, addr string) {
+	t.mu.Lock()
+	t.dir[name] = addr
+	t.mu.Unlock()
+}
+
+// Addr reports the listen address of a registered host.
+func (t *TCPCarrier) Addr(name string) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dir[name]
+}
+
+// Register implements Carrier: it opens a listener for the host and
+// serves incoming frames to recv.
+func (t *TCPCarrier) Register(name string, recv func(from string, body any, size int)) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(fmt.Sprintf("rpc: tcp listen: %v", err))
+	}
+	t.mu.Lock()
+	t.dir[name] = ln.Addr().String()
+	t.listeners[name] = ln
+	t.recvs[name] = recv
+	t.mu.Unlock()
+	go t.acceptLoop(name, ln)
+}
+
+func (t *TCPCarrier) acceptLoop(name string, ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go t.serveConn(name, conn)
+	}
+}
+
+func (t *TCPCarrier) serveConn(name string, conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	for {
+		var f tcpFrame
+		if err := dec.Decode(&f); err != nil {
+			return
+		}
+		t.mu.Lock()
+		recv := t.recvs[name]
+		t.mu.Unlock()
+		if recv != nil {
+			recv(f.From, f.Body, 0)
+		}
+	}
+}
+
+// Unregister implements Carrier.
+func (t *TCPCarrier) Unregister(name string) {
+	t.mu.Lock()
+	if ln, ok := t.listeners[name]; ok {
+		ln.Close()
+		delete(t.listeners, name)
+	}
+	delete(t.recvs, name)
+	t.mu.Unlock()
+}
+
+// Send implements Carrier: one persistent gob stream per (from, to)
+// pair.
+func (t *TCPCarrier) Send(from, to string, body any, size int) error {
+	key := from + "|" + to
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	conn := t.conns[key]
+	addr := t.dir[to]
+	t.mu.Unlock()
+	if addr == "" {
+		return fmt.Errorf("rpc: no address for host %q", to)
+	}
+	if conn == nil {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("rpc: dial %s: %w", to, err)
+		}
+		conn = &tcpConn{c: c, enc: gob.NewEncoder(c)}
+		t.mu.Lock()
+		if existing := t.conns[key]; existing != nil {
+			t.mu.Unlock()
+			c.Close()
+			conn = existing
+		} else {
+			t.conns[key] = conn
+			t.mu.Unlock()
+		}
+	}
+	conn.mu.Lock()
+	err := conn.enc.Encode(tcpFrame{From: from, Body: body})
+	conn.mu.Unlock()
+	if err != nil {
+		// Drop the broken connection; the caller's retry redials.
+		t.mu.Lock()
+		if t.conns[key] == conn {
+			delete(t.conns, key)
+		}
+		t.mu.Unlock()
+		conn.c.Close()
+		return fmt.Errorf("rpc: send %s->%s: %w", from, to, err)
+	}
+	return nil
+}
+
+// Close shuts down every listener and connection.
+func (t *TCPCarrier) Close() {
+	t.mu.Lock()
+	t.closed = true
+	for _, ln := range t.listeners {
+		ln.Close()
+	}
+	for _, c := range t.conns {
+		c.c.Close()
+	}
+	t.listeners = make(map[string]net.Listener)
+	t.conns = make(map[string]*tcpConn)
+	t.mu.Unlock()
+}

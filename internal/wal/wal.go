@@ -1,0 +1,491 @@
+// Package wal implements Frangipani's per-server write-ahead redo
+// log (paper §4). Each Frangipani server owns a private, bounded
+// (128 KB), circular log stored inside Petal. Metadata updates are
+// described by log records carrying, for each affected 512-byte
+// metadata block, the byte changes and a new version number. A
+// record is written to the log (group-committed) before the metadata
+// blocks themselves are updated in place.
+//
+// Recovery reads the log, finds its end by the monotonically
+// increasing sequence number attached to each 512-byte log block, and
+// replays records in order. A change is applied only if the on-disk
+// block's version is older than the record's ("recovery never replays
+// a log record describing an update that has already been
+// completed"). Records are protected by a CRC so a torn or
+// half-reclaimed region is skipped rather than misapplied.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+)
+
+// Geometry constants.
+const (
+	// BlockSize is the log block size; each carries an 10-byte header.
+	BlockSize = 512
+	// blockHdr is LSN (8 bytes) + first-record anchor offset (2).
+	blockHdr = 10
+	// payloadPerBlock is the record stream capacity per log block.
+	payloadPerBlock = BlockSize - blockHdr
+	// MaxUpdateOffset bounds update data within a metadata block: the
+	// last 8 bytes of every 512-byte metadata block hold its version
+	// number and may only change through the version mechanism.
+	MaxUpdateOffset = 512 - 8
+	// DefaultLogSize is the paper's per-server log size.
+	DefaultLogSize = 128 << 10
+	// recHdrLen is magic(2) + len(4) + seq(8) + crc(4).
+	recHdrLen = 18
+	recMagic  = 0x4C52 // "LR"
+	noAnchor  = 0xFFFF
+)
+
+// Errors.
+var (
+	ErrTooLarge  = errors.New("wal: record exceeds log capacity")
+	ErrBadUpdate = errors.New("wal: update touches version trailer or out of bounds")
+)
+
+// BlockRegion is the storage a log lives on: a byte range addressed
+// from 0, sector-aligned I/O (a window of a Petal virtual disk).
+type BlockRegion interface {
+	ReadAt(p []byte, off int64) error
+	WriteAt(p []byte, off int64) error
+}
+
+// BlockDev is the device holding the metadata blocks that replay
+// writes to (the whole Petal virtual disk).
+type BlockDev = BlockRegion
+
+// Update describes one sub-block metadata change.
+type Update struct {
+	Addr int64  // byte address of the 512-byte metadata block
+	Off  int    // offset of the change within the block (< 504)
+	Data []byte // new bytes
+	Ver  uint64 // new version number for the block
+}
+
+// BlockVersion reads the version trailer of a 512-byte metadata
+// block.
+func BlockVersion(block []byte) uint64 {
+	return binary.LittleEndian.Uint64(block[MaxUpdateOffset:])
+}
+
+// SetBlockVersion writes the version trailer.
+func SetBlockVersion(block []byte, v uint64) {
+	binary.LittleEndian.PutUint64(block[MaxUpdateOffset:], v)
+}
+
+// Log is one server's in-memory view of its private log region.
+type Log struct {
+	region BlockRegion
+	size   int64 // bytes
+	blocks int64 // log blocks
+
+	flushMu  sync.Mutex // serializes Flush bodies (shared boundary blocks)
+	mu       sync.Mutex
+	nextSeq  int64
+	head     int64 // stream position of next byte to write
+	tail     int64 // stream position of oldest unreleased record
+	buf      []byte
+	bufStart int64 // stream position of buf[0]
+	pending  []recSpan
+	reclaim  func(throughSeq int64)
+
+	appends int64
+	flushes int64
+	wrote   int64
+}
+
+type recSpan struct {
+	seq        int64
+	start, end int64 // stream positions
+}
+
+// New opens a fresh (logically empty) log over the region. The
+// region is not zeroed; sequence numbers distinguish old blocks.
+func New(region BlockRegion, size int64) *Log {
+	return &Log{
+		region: region,
+		size:   size,
+		blocks: size / BlockSize,
+	}
+}
+
+// SetReclaim registers the callback invoked when the log fills: the
+// owner must make the metadata covered by records up to throughSeq
+// durable (writing dirty blocks to Petal) and then call Release.
+// Per the paper, "Frangipani reclaims the oldest 25% of the log
+// space for new log entries" at that point.
+func (l *Log) SetReclaim(f func(throughSeq int64)) {
+	l.mu.Lock()
+	l.reclaim = f
+	l.mu.Unlock()
+}
+
+// streamCapacity is the usable byte capacity of the circular record
+// stream.
+func (l *Log) streamCapacity() int64 { return l.blocks * payloadPerBlock }
+
+// encode serializes a record.
+func encodeRecord(seq int64, ups []Update) ([]byte, error) {
+	body := make([]byte, 0, 128)
+	var tmp [10]byte
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(ups)))
+	body = append(body, tmp[:2]...)
+	for _, u := range ups {
+		if u.Off < 0 || len(u.Data) == 0 || u.Off+len(u.Data) > MaxUpdateOffset {
+			return nil, fmt.Errorf("%w: off=%d len=%d", ErrBadUpdate, u.Off, len(u.Data))
+		}
+		var h [20]byte
+		binary.LittleEndian.PutUint64(h[0:8], uint64(u.Addr))
+		binary.LittleEndian.PutUint64(h[8:16], u.Ver)
+		binary.LittleEndian.PutUint16(h[16:18], uint16(u.Off))
+		binary.LittleEndian.PutUint16(h[18:20], uint16(len(u.Data)))
+		body = append(body, h[:]...)
+		body = append(body, u.Data...)
+	}
+	rec := make([]byte, recHdrLen+len(body))
+	binary.LittleEndian.PutUint16(rec[0:2], recMagic)
+	binary.LittleEndian.PutUint32(rec[2:6], uint32(len(body)))
+	binary.LittleEndian.PutUint64(rec[6:14], uint64(seq))
+	binary.LittleEndian.PutUint32(rec[14:18], crc32.ChecksumIEEE(body))
+	copy(rec[recHdrLen:], body)
+	return rec, nil
+}
+
+// Append buffers a record describing the updates and returns its
+// sequence number. The record is durable only after Flush. If the
+// log is too full, the reclaim callback runs synchronously first.
+func (l *Log) Append(ups []Update) (int64, error) {
+	l.mu.Lock()
+	seq := l.nextSeq + 1
+	rec, err := encodeRecord(seq, ups)
+	if err != nil {
+		l.mu.Unlock()
+		return 0, err
+	}
+	need := int64(len(rec))
+	if need > l.streamCapacity()/2 {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, need)
+	}
+	for l.head+need-l.tail > l.streamCapacity() {
+		// Log full: reclaim the oldest quarter.
+		target := l.tail + l.streamCapacity()/4
+		var through int64
+		for _, sp := range l.pending {
+			if sp.start < target {
+				through = sp.seq
+			}
+		}
+		cb := l.reclaim
+		if cb == nil || through == 0 {
+			// No reclaimer or nothing reclaimable: drop the oldest
+			// quarter accounting anyway (records there must already
+			// be released).
+			l.dropThroughLocked(target)
+			continue
+		}
+		l.mu.Unlock()
+		cb(through)
+		l.mu.Lock()
+	}
+	l.nextSeq = seq
+	l.appends++
+	l.pending = append(l.pending, recSpan{seq: seq, start: l.head, end: l.head + need})
+	l.buf = append(l.buf, rec...)
+	l.head += need
+	l.mu.Unlock()
+	return seq, nil
+}
+
+func (l *Log) dropThroughLocked(pos int64) {
+	if pos > l.head {
+		pos = l.head
+	}
+	if pos > l.tail {
+		l.tail = pos
+	}
+	for len(l.pending) > 0 && l.pending[0].end <= l.tail {
+		l.pending = l.pending[1:]
+	}
+}
+
+// Release marks all records with seq <= throughSeq as reclaimable:
+// their metadata updates have reached their permanent locations.
+func (l *Log) Release(throughSeq int64) {
+	l.mu.Lock()
+	for len(l.pending) > 0 && l.pending[0].seq <= throughSeq {
+		l.tail = l.pending[0].end
+		l.pending = l.pending[1:]
+	}
+	if len(l.pending) == 0 {
+		l.tail = l.head
+	}
+	// The flush buffer can shed bytes already released and flushed.
+	l.mu.Unlock()
+}
+
+// Flush writes all buffered records to the region (group commit) and
+// returns once they are durable there. Concurrent appends during the
+// write land in the next flush.
+func (l *Log) Flush() error {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	l.mu.Lock()
+	if len(l.buf) == 0 {
+		l.mu.Unlock()
+		return nil
+	}
+	buf := l.buf
+	start := l.bufStart
+	l.buf = nil
+	l.bufStart = l.head
+	l.flushes++
+	l.mu.Unlock()
+
+	// Write the stream bytes into their log blocks. A block is
+	// rewritten whole: LSN, anchor, payload.
+	firstBlk := start / payloadPerBlock
+	lastBlk := (start + int64(len(buf)) - 1) / payloadPerBlock
+	for b := firstBlk; b <= lastBlk; b++ {
+		blkStart := b * payloadPerBlock
+		blkEnd := blkStart + payloadPerBlock
+		blk := make([]byte, BlockSize)
+		binary.LittleEndian.PutUint64(blk[0:8], uint64(b+1)) // LSN, monotone
+		anchor := l.anchorFor(blkStart, blkEnd)
+		binary.LittleEndian.PutUint16(blk[8:10], anchor)
+		// Fill payload from buf where it overlaps, preserving prior
+		// payload for the leading partial block.
+		off := b % l.blocks * BlockSize
+		if blkStart < start {
+			if err := l.region.ReadAt(blk[blockHdr:], off+blockHdr); err != nil {
+				return err
+			}
+			// Re-write header fields over what we read.
+		}
+		lo := max64(blkStart, start)
+		hi := min64(blkEnd, start+int64(len(buf)))
+		copy(blk[blockHdr+(lo-blkStart):], buf[lo-start:hi-start])
+		if err := l.region.WriteAt(blk, off); err != nil {
+			return err
+		}
+		l.mu.Lock()
+		l.wrote += BlockSize
+		l.mu.Unlock()
+	}
+	return nil
+}
+
+// anchorFor returns the payload offset of the first record starting
+// inside the given stream range, or noAnchor.
+func (l *Log) anchorFor(blkStart, blkEnd int64) uint16 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	best := int64(-1)
+	for _, sp := range l.pending {
+		if sp.start >= blkStart && sp.start < blkEnd {
+			if best == -1 || sp.start < best {
+				best = sp.start
+			}
+		}
+	}
+	if best == -1 {
+		return noAnchor
+	}
+	return uint16(best - blkStart)
+}
+
+// Stats returns counters for benchmarks: records appended, flushes
+// (group commits), and log bytes written.
+func (l *Log) Stats() (appends, flushes, bytesWritten int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends, l.flushes, l.wrote
+}
+
+// Pending returns the sequence range of records not yet released,
+// and whether any exist.
+func (l *Log) Pending() (low, high int64, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.pending) == 0 {
+		return 0, 0, false
+	}
+	return l.pending[0].seq, l.pending[len(l.pending)-1].seq, true
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RecoveredRecord is one decoded log record.
+type RecoveredRecord struct {
+	Seq     int64
+	Updates []Update
+}
+
+// Scan reads a log region and returns the valid records found, in
+// sequence order. It tolerates torn and wrapped logs: blocks are
+// ordered by LSN, the end of the log is where the LSN sequence
+// breaks, parsing starts at record anchors, and CRC-invalid records
+// are skipped with a re-anchor at the next block.
+func Scan(region BlockRegion, size int64) ([]RecoveredRecord, error) {
+	blocks := size / BlockSize
+	type blkInfo struct {
+		lsn    int64
+		anchor uint16
+		data   []byte
+	}
+	// One bulk read of the whole region: a log is only 128 KB, and
+	// per-block round trips to Petal would dominate recovery time.
+	whole := make([]byte, blocks*BlockSize)
+	if err := region.ReadAt(whole, 0); err != nil {
+		return nil, err
+	}
+	var infos []blkInfo
+	for i := int64(0); i < blocks; i++ {
+		blk := whole[i*BlockSize : (i+1)*BlockSize]
+		lsn := int64(binary.LittleEndian.Uint64(blk[0:8]))
+		if lsn == 0 {
+			continue // never written
+		}
+		infos = append(infos, blkInfo{
+			lsn:    lsn,
+			anchor: binary.LittleEndian.Uint16(blk[8:10]),
+			data:   blk[blockHdr:],
+		})
+	}
+	if len(infos) == 0 {
+		return nil, nil
+	}
+	sort.Slice(infos, func(a, b int) bool { return infos[a].lsn < infos[b].lsn })
+	// Keep only the contiguous LSN run ending at the maximum: older
+	// detached runs are fully-reclaimed space.
+	end := len(infos) - 1
+	start := end
+	for start > 0 && infos[start-1].lsn == infos[start].lsn-1 {
+		start--
+	}
+	infos = infos[start:]
+
+	// Parse the concatenated payload stream from the first anchor.
+	stream := make([]byte, 0, len(infos)*payloadPerBlock)
+	anchors := []int{} // stream offsets where records may start
+	for i, inf := range infos {
+		if inf.anchor != noAnchor && int(inf.anchor) < payloadPerBlock {
+			anchors = append(anchors, i*payloadPerBlock+int(inf.anchor))
+		}
+		stream = append(stream, inf.data...)
+	}
+	var out []RecoveredRecord
+	seen := make(map[int64]bool)
+	for ai := 0; ai < len(anchors); ai++ {
+		pos := anchors[ai]
+		for pos+recHdrLen <= len(stream) {
+			if binary.LittleEndian.Uint16(stream[pos:pos+2]) != recMagic {
+				break
+			}
+			blen := int(binary.LittleEndian.Uint32(stream[pos+2 : pos+6]))
+			seq := int64(binary.LittleEndian.Uint64(stream[pos+6 : pos+14]))
+			crc := binary.LittleEndian.Uint32(stream[pos+14 : pos+18])
+			if blen < 2 || pos+recHdrLen+blen > len(stream) {
+				break
+			}
+			body := stream[pos+recHdrLen : pos+recHdrLen+blen]
+			if crc32.ChecksumIEEE(body) != crc {
+				break // torn record; re-anchor at a later block
+			}
+			if !seen[seq] {
+				rec, err := decodeBody(seq, body)
+				if err == nil {
+					out = append(out, rec)
+					seen[seq] = true
+				}
+			}
+			pos += recHdrLen + blen
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out, nil
+}
+
+func decodeBody(seq int64, body []byte) (RecoveredRecord, error) {
+	rec := RecoveredRecord{Seq: seq}
+	n := int(binary.LittleEndian.Uint16(body[0:2]))
+	pos := 2
+	for i := 0; i < n; i++ {
+		if pos+20 > len(body) {
+			return rec, errors.New("wal: truncated update header")
+		}
+		u := Update{
+			Addr: int64(binary.LittleEndian.Uint64(body[pos : pos+8])),
+			Ver:  binary.LittleEndian.Uint64(body[pos+8 : pos+16]),
+			Off:  int(binary.LittleEndian.Uint16(body[pos+16 : pos+18])),
+		}
+		dlen := int(binary.LittleEndian.Uint16(body[pos+18 : pos+20]))
+		pos += 20
+		if pos+dlen > len(body) {
+			return rec, errors.New("wal: truncated update data")
+		}
+		u.Data = append([]byte(nil), body[pos:pos+dlen]...)
+		pos += dlen
+		rec.Updates = append(rec.Updates, u)
+	}
+	return rec, nil
+}
+
+// Replay applies recovered records to the metadata device: for each
+// block a record updates, the changes land only if the block's
+// on-disk version is older than the record's, preserving the paper's
+// "at most one log can hold an uncompleted update for any given
+// block" invariant. All of one record's updates to a block share a
+// version and are applied together (a record is atomic per block).
+// It returns how many blocks were updated.
+func Replay(records []RecoveredRecord, dev BlockDev) (applied int, err error) {
+	for _, rec := range records {
+		// Group this record's updates by block, preserving order.
+		byBlock := make(map[int64][]Update)
+		var order []int64
+		for _, u := range rec.Updates {
+			if _, seen := byBlock[u.Addr]; !seen {
+				order = append(order, u.Addr)
+			}
+			byBlock[u.Addr] = append(byBlock[u.Addr], u)
+		}
+		for _, addr := range order {
+			ups := byBlock[addr]
+			blk := make([]byte, BlockSize)
+			if err := dev.ReadAt(blk, addr); err != nil {
+				return applied, err
+			}
+			if BlockVersion(blk) >= ups[0].Ver {
+				continue // already completed
+			}
+			for _, u := range ups {
+				copy(blk[u.Off:], u.Data)
+			}
+			SetBlockVersion(blk, ups[0].Ver)
+			if err := dev.WriteAt(blk, addr); err != nil {
+				return applied, err
+			}
+			applied++
+		}
+	}
+	return applied, nil
+}

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"frangipani/internal/sim"
+)
+
+// ContentionResult reports one run of a lock-contention rig.
+type ContentionResult struct {
+	ReaderBytes int64        // bytes delivered to the readers
+	WriterOps   int64        // writer passes completed
+	Elapsed     sim.Duration // simulated run time
+}
+
+// ReadMBps returns aggregate reader throughput in MB/s of simulated
+// time.
+func (r ContentionResult) ReadMBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.ReaderBytes) / (1 << 20) / r.Elapsed.Seconds()
+}
+
+// ReaderWriterContention is the Figure 8/9 rig: one writer keeps
+// rewriting the first writeBytes of a shared file while each reader
+// reads the file sequentially in a loop. "As a result, the writer
+// repeatedly acquires the write lock, then gets a callback to
+// downgrade it so that the readers can get the read lock" (§9.4).
+// The file (of fileSize bytes) must already exist with its contents
+// written; duration is the measurement window in simulated time.
+func ReaderWriterContention(clock *sim.Clock, writer FS, readers []FS, path string,
+	fileSize int64, writeBytes int, duration sim.Duration) (ContentionResult, error) {
+
+	wh, err := writer.Open(path, false)
+	if err != nil {
+		return ContentionResult{}, err
+	}
+	var rhs []File
+	for _, r := range readers {
+		h, err := r.Open(path, false)
+		if err != nil {
+			return ContentionResult{}, err
+		}
+		rhs = append(rhs, h)
+	}
+
+	var stop atomic.Bool
+	var readerBytes, writerOps int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(rhs)+1)
+
+	start := clock.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := content(writeBytes, 1)
+		for !stop.Load() {
+			if _, err := wh.WriteAt(buf, 0); err != nil {
+				errCh <- err
+				return
+			}
+			atomic.AddInt64(&writerOps, 1)
+		}
+	}()
+	for _, h := range rhs {
+		wg.Add(1)
+		go func(h File) {
+			defer wg.Done()
+			buf := make([]byte, 64<<10)
+			off := int64(0)
+			for !stop.Load() {
+				n, err := h.ReadAt(buf, off)
+				atomic.AddInt64(&readerBytes, int64(n))
+				off += int64(n)
+				if err == io.EOF || off >= fileSize {
+					off = 0
+				} else if err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(h)
+	}
+	clock.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := sim.Duration(clock.Now() - start)
+	select {
+	case err := <-errCh:
+		return ContentionResult{}, err
+	default:
+	}
+	return ContentionResult{
+		ReaderBytes: atomic.LoadInt64(&readerBytes),
+		WriterOps:   atomic.LoadInt64(&writerOps),
+		Elapsed:     elapsed,
+	}, nil
+}
+
+// WriteSharing is the third §9.4 experiment: N writers all rewriting
+// the same region of one file. The write lock ping-pongs between the
+// servers; each handoff forces a flush. Returns aggregate write
+// operations completed.
+func WriteSharing(clock *sim.Clock, writers []FS, path string, writeBytes int,
+	duration sim.Duration) (ContentionResult, error) {
+
+	var hs []File
+	for _, w := range writers {
+		h, err := w.Open(path, false)
+		if err != nil {
+			return ContentionResult{}, err
+		}
+		hs = append(hs, h)
+	}
+	var stop atomic.Bool
+	var ops int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(hs))
+	start := clock.Now()
+	for i, h := range hs {
+		wg.Add(1)
+		go func(i int, h File) {
+			defer wg.Done()
+			buf := content(writeBytes, i)
+			for !stop.Load() {
+				if _, err := h.WriteAt(buf, 0); err != nil {
+					errCh <- err
+					return
+				}
+				atomic.AddInt64(&ops, 1)
+			}
+		}(i, h)
+	}
+	clock.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := sim.Duration(clock.Now() - start)
+	select {
+	case err := <-errCh:
+		return ContentionResult{}, err
+	default:
+	}
+	return ContentionResult{WriterOps: atomic.LoadInt64(&ops), Elapsed: elapsed}, nil
+}
