@@ -23,7 +23,7 @@ import (
 var names = []string{
 	"table1", "table2", "table3",
 	"fig5", "fig6", "fig7", "fig7-norepl", "fig8", "fig9",
-	"wshare", "smallreads", "ablation-synclog",
+	"wshare", "smallreads", "ablation-synclog", "writeback-pipeline",
 }
 
 func main() {

@@ -375,6 +375,81 @@ func (o Options) AblationSyncLog() (*Table, error) {
 	return t, nil
 }
 
+// WritebackPipeline measures the pipelined write-back path: the same
+// dirty-page workload is flushed once through the serial path
+// (FlushParallelism=1, one Petal write per coalesced run) and once
+// through the pipelined path (scatter-gather WriteV batches dispatched
+// by a worker pool), comparing update-demon Sync latency and Petal
+// write-RPC counts.
+func (o Options) WritebackPipeline() (*Table, error) {
+	t := &Table{
+		ID:     "Write-back pipeline",
+		Title:  "Sync latency and Petal write RPCs: serial vs pipelined write-back",
+		Header: []string{"Mode", "Sync (ms)", "write RPCs", "of which WriteV", "flush runs"},
+		Notes:  "Same dirty set both rows; WriteV carries many coalesced runs per RPC and runs flush concurrently, so both latency and RPC count drop.",
+	}
+	files := 24
+	if o.Quick {
+		files = 12
+	}
+	for _, mode := range []struct {
+		name string
+		par  int
+	}{
+		{"serial (par=1)", 1},
+		{"pipelined (par=8)", 8},
+	} {
+		c, err := o.newCluster(true, nil)
+		if err != nil {
+			return nil, err
+		}
+		fss, err := mountN(c, 1, func(fc *frangipani.Config) { fc.FlushParallelism = mode.par })
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		f := fss[0]
+		if err := f.Mkdir("/wb"); err != nil {
+			c.Close()
+			return nil, err
+		}
+		buf := make([]byte, 32<<10)
+		for i := range buf {
+			buf[i] = byte(i * 31)
+		}
+		for i := 0; i < files; i++ {
+			h, err := f.OpenFile(fmt.Sprintf("/wb/f%d", i), true)
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			if _, err := h.WriteAt(buf, 0); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+		before := f.PetalStats()
+		start := c.World.Clock.Now()
+		if err := f.Sync(); err != nil {
+			c.Close()
+			return nil, err
+		}
+		dur := sim.Duration(c.World.Clock.Now() - start)
+		after := f.PetalStats()
+		st := f.Stats()
+		c.Close()
+		rpcs := (after.WriteRPCs + after.WriteVRPCs) - (before.WriteRPCs + before.WriteVRPCs)
+		t.Rows = append(t.Rows, []string{
+			mode.name,
+			ms(dur),
+			fmt.Sprintf("%d", rpcs),
+			fmt.Sprintf("%d", after.WriteVRPCs-before.WriteVRPCs),
+			fmt.Sprintf("%d", st.FlushRuns),
+		})
+	}
+	return t, nil
+}
+
 // SmallReads reproduces the §9.2 small-file experiment: 30 readers of
 // separate 8 KB files on one machine, cold cache (CPU-bound in the
 // paper at 6.3 of 8 MB/s).
@@ -432,6 +507,7 @@ func (o Options) All() ([]*Table, error) {
 		{"wshare", o.WriteSharing},
 		{"smallreads", o.SmallReads},
 		{"ablation-synclog", o.AblationSyncLog},
+		{"writeback-pipeline", o.WritebackPipeline},
 	}
 	var out []*Table
 	for _, e := range exps {
@@ -471,6 +547,8 @@ func (o Options) ByName(name string) (*Table, error) {
 		return o.SmallReads()
 	case "ablation-synclog":
 		return o.AblationSyncLog()
+	case "writeback-pipeline":
+		return o.WritebackPipeline()
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q", name)
 }

@@ -20,8 +20,9 @@ import (
 )
 
 // Entry is one cached block. Data is mutated in place by the owner
-// while it holds the covering lock; the pool itself only guards its
-// index structures.
+// while it holds the covering lock; in-place writes go through
+// Pool.Mutate so background flushers (which snapshot via
+// SnapshotBatch) never observe a torn block.
 type Entry struct {
 	Addr  int64
 	Data  []byte
@@ -191,6 +192,56 @@ func (p *Pool) Gen(e *Entry) int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return e.gen
+}
+
+// GenBatch snapshots the dirty generations of a set of entries with
+// one lock acquisition; batch flushers snapshot before copying data
+// out, then clear with MarkCleanIfBatch.
+func (p *Pool) GenBatch(es []*Entry) []int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int64, len(es))
+	for i, e := range es {
+		out[i] = e.gen
+	}
+	return out
+}
+
+// SnapshotBatch copies each entry's block into buf (which must hold
+// len(es) blocks) and returns the dirty generations, all under one
+// lock acquisition. Owners mutate Data through Mutate, so a flusher
+// snapshot never observes a torn concurrent update.
+func (p *Pool) SnapshotBatch(es []*Entry, buf []byte) []int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	gens := make([]int64, len(es))
+	for i, e := range es {
+		gens[i] = e.gen
+		copy(buf[i*p.blockSize:], e.Data)
+	}
+	return gens
+}
+
+// Mutate runs fn under the pool lock. Owners use it for in-place
+// Data writes so flusher snapshots are properly ordered with respect
+// to them; fn must not call back into the pool.
+func (p *Pool) Mutate(fn func()) {
+	p.mu.Lock()
+	fn()
+	p.mu.Unlock()
+}
+
+// MarkCleanIfBatch clears the dirty flag of every entry whose
+// generation still matches the flusher's snapshot, with one lock
+// acquisition. Entries re-dirtied since keep their flag.
+func (p *Pool) MarkCleanIfBatch(es []*Entry, gens []int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, e := range es {
+		if e.gen == gens[i] {
+			e.Dirty = false
+		}
+	}
 }
 
 // MarkClean clears the dirty flag (after a successful write-back).

@@ -184,7 +184,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 					}
 				}
 			}
-			copy(pe.Data[inPage:], p[pos:pos+n])
+			fs.data.Mutate(func() { copy(pe.Data[inPage:], p[pos:pos+n]) })
 			fs.data.MarkDirty(pe, 0)
 			pos += n
 		}
@@ -225,7 +225,7 @@ func (fs *FS) zeroRange(in Inode, lo, hi int64, lock uint64) {
 					return
 				}
 			}
-			clear(pe.Data[inPage : inPage+n])
+			fs.data.Mutate(func() { clear(pe.Data[inPage : inPage+n]) })
 			fs.data.MarkDirty(pe, 0)
 		}
 		cur += n
@@ -512,7 +512,7 @@ func (f *File) Truncate(size int64) error {
 		if size%BlockSize != 0 {
 			if pageAddr, inPage, ok := fs.filePageAddr(in, size); ok {
 				if pe, err := fs.readData(pageAddr, lock); err == nil {
-					clear(pe.Data[inPage:])
+					fs.data.Mutate(func() { clear(pe.Data[inPage:]) })
 					fs.data.MarkDirty(pe, 0)
 				}
 			}
@@ -544,13 +544,8 @@ func (f *File) Sync() error {
 	}
 	fs.mu.Unlock()
 	lock := InodeLock(f.inum)
-	var firstErr error
-	for _, e := range fs.meta.DirtyByOwner(lock) {
-		if err := fs.flushEntry(fs.meta, e); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	if err := fs.flushDataBatch(fs.data.DirtyByOwner(lock)); err != nil && firstErr == nil {
+	firstErr := fs.flushRuns(fs.meta, fs.meta.DirtyByOwner(lock))
+	if err := fs.flushRuns(fs.data, fs.data.DirtyByOwner(lock)); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	return firstErr

@@ -43,6 +43,13 @@ type Config struct {
 	// ReadAhead is the number of 4 KB pages prefetched on sequential
 	// reads; 0 disables it (the Figure 8 experiment).
 	ReadAhead int
+	// FlushParallelism bounds concurrent write-back dispatches in the
+	// sync demon and lock-revocation flushes. Values <= 1 select the
+	// serial path: one synchronous Petal RPC per coalesced run. Higher
+	// values enable the write-back pipeline: runs are packed into
+	// scatter-gather WriteV batches and dispatched through a bounded
+	// worker pool, overlapping Petal transfers.
+	FlushParallelism int
 	// Cache capacities, in blocks.
 	MetaCacheCap int
 	DataCacheCap int
@@ -59,14 +66,15 @@ type Config struct {
 // DefaultConfig returns paper-flavored settings.
 func DefaultConfig() Config {
 	return Config{
-		SyncEvery:    30 * time.Second,
-		LeaseMargin:  lockservice.DefaultLeaseMargin,
-		ReadAhead:    64,    // 256 KB window: four chunk-parallel Petal reads in flight
-		MetaCacheCap: 16384, // 8 MB of sectors
-		DataCacheCap: 8192,  // 32 MB of pages
-		CPUPerOp:     150 * time.Microsecond,
-		CPUPerKB:     25 * time.Microsecond,
-		Lock:         lockservice.DefaultConfig(),
+		SyncEvery:        30 * time.Second,
+		LeaseMargin:      lockservice.DefaultLeaseMargin,
+		ReadAhead:        64,    // 256 KB window: four chunk-parallel Petal reads in flight
+		FlushParallelism: 8,     // pipelined write-back, 8 batches in flight
+		MetaCacheCap:     16384, // 8 MB of sectors
+		DataCacheCap:     8192,  // 32 MB of pages
+		CPUPerOp:         150 * time.Microsecond,
+		CPUPerKB:         25 * time.Microsecond,
+		Lock:             lockservice.DefaultConfig(),
 	}
 }
 
@@ -86,6 +94,12 @@ type Counters struct {
 	Recoveries      int64
 	ReadAheadHits   int64
 	ReadAheadWasted int64 // prefetched bytes discarded after revocation
+
+	// Write-back pipeline statistics.
+	FlushBatches      int64 // scatter-gather batches dispatched
+	FlushRuns         int64 // coalesced runs written back
+	FlushPages        int64 // blocks written back
+	FlushPeakInFlight int64 // max concurrent write-back dispatches seen
 }
 
 // FS is one Frangipani file server instance.
@@ -123,6 +137,8 @@ type FS struct {
 
 	wbMu   sync.Mutex
 	wbBusy bool // write-behind flush in flight
+
+	flushInFlight int64 // current write-back dispatches (guarded by mu)
 
 	// atimes holds in-memory approximate access times (§2.1), folded
 	// into inodes when they are next logged. Guarded by mu.
@@ -243,6 +259,10 @@ func (fs *FS) LogSlot() int { return fs.logSlot }
 // Clerk exposes the lock clerk (tests and the backup tool use it).
 func (fs *FS) Clerk() *lockservice.Clerk { return fs.clerk }
 
+// PetalStats snapshots the underlying Petal driver's write-path RPC
+// counters (benchmarks compare serial vs scatter-gather write-back).
+func (fs *FS) PetalStats() petal.ClientStats { return fs.pc.Stats() }
+
 // Stats returns a snapshot of the server's counters.
 func (fs *FS) Stats() Counters {
 	fs.mu.Lock()
@@ -323,6 +343,23 @@ func (fs *FS) chargeOp(bytes int) {
 // silently drop dirty data that the next lock holder depends on.
 // Only a definitively lost lease fails the write.
 func (fs *FS) petalWrite(addr int64, p []byte) error {
+	if err := fs.waitLeaseForWrite(); err != nil {
+		return err
+	}
+	return fs.pc.Write(fs.vd, addr, p)
+}
+
+// petalWriteV is the scatter-gather variant of petalWrite: one lease
+// check covers the whole batch, which the Petal driver splits by
+// chunk and dispatches with bounded parallelism.
+func (fs *FS) petalWriteV(exts []petal.Extent) error {
+	if err := fs.waitLeaseForWrite(); err != nil {
+		return err
+	}
+	return fs.pc.WriteV(fs.vd, exts)
+}
+
+func (fs *FS) waitLeaseForWrite() error {
 	deadline := fs.w.Clock.Now() + sim.Time(2*fs.cfg.Lock.LeaseDuration)
 	for !fs.clerk.LeaseValid(fs.cfg.LeaseMargin) {
 		if fs.clerk.LeaseLost() || fs.w.Clock.Now() >= deadline {
@@ -330,7 +367,7 @@ func (fs *FS) petalWrite(addr int64, p []byte) error {
 		}
 		fs.w.Clock.Sleep(fs.cfg.Lock.LeaseDuration / 10)
 	}
-	return fs.pc.Write(fs.vd, addr, p)
+	return nil
 }
 
 // logRegion adapts a log slot window to the WAL's BlockRegion.
@@ -439,33 +476,47 @@ func (fs *FS) readDataRun(addr int64, count int, owner uint64) (*cache.Entry, er
 	}
 }
 
-// flushEntry makes one dirty entry durable, honoring write-ahead
-// order: the log is forced through the entry's sequence first.
-func (fs *FS) flushEntry(pool *cache.Pool, e *cache.Entry) error {
-	if e.Seq > 0 {
-		fs.mu.Lock()
-		needFlush := e.Seq > fs.flushed
-		target := fs.appended
-		fs.mu.Unlock()
-		if needFlush {
-			if err := fs.log.Flush(); err != nil {
-				return err
-			}
-			fs.mu.Lock()
-			if target > fs.flushed {
-				fs.flushed = target
-			}
-			fs.mu.Unlock()
-		}
+// ensureLogFlushed enforces write-ahead order: before a block dirtied
+// by the record at seq may be written to Petal, the log must be
+// durable through seq. Concurrent callers group-commit inside the
+// WAL, so redundant calls are cheap.
+func (fs *FS) ensureLogFlushed(seq int64) error {
+	if seq == 0 {
+		return nil
 	}
-	gen := pool.Gen(e)
-	if err := fs.petalWrite(e.Addr, e.Data); err != nil {
+	fs.mu.Lock()
+	need := seq > fs.flushed
+	target := fs.appended
+	fs.mu.Unlock()
+	if !need {
+		return nil
+	}
+	if err := fs.log.Flush(); err != nil {
 		return err
 	}
 	fs.mu.Lock()
-	fs.stats.BytesWritten += int64(len(e.Data))
+	if target > fs.flushed {
+		fs.flushed = target
+	}
 	fs.mu.Unlock()
-	pool.MarkCleanIf(e, gen)
+	return nil
+}
+
+// flushEntry makes one dirty entry durable, honoring write-ahead
+// order: the log is forced through the entry's sequence first.
+func (fs *FS) flushEntry(pool *cache.Pool, e *cache.Entry) error {
+	if err := fs.ensureLogFlushed(e.Seq); err != nil {
+		return err
+	}
+	buf := make([]byte, pool.BlockSize())
+	gens := pool.SnapshotBatch([]*cache.Entry{e}, buf)
+	if err := fs.petalWrite(e.Addr, buf); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	fs.stats.BytesWritten += int64(len(buf))
+	fs.mu.Unlock()
+	pool.MarkCleanIf(e, gens[0])
 	return nil
 }
 
@@ -510,7 +561,7 @@ func (t *txn) update(e *cache.Entry, off int, newBytes []byte) {
 			runStart = -1
 		}
 	}
-	copy(old, newBytes)
+	t.fs.meta.Mutate(func() { copy(old, newBytes) })
 	if _, seen := t.spans[e]; seen {
 		t.addTouched(e)
 	}
@@ -519,7 +570,7 @@ func (t *txn) update(e *cache.Entry, off int, newBytes []byte) {
 // forceUpdate records a span even if bytes compare equal (used when
 // the semantic state must be re-logged, e.g. allocation bits).
 func (t *txn) forceUpdate(e *cache.Entry, off int, newBytes []byte) {
-	copy(e.Data[off:], newBytes)
+	t.fs.meta.Mutate(func() { copy(e.Data[off:], newBytes) })
 	t.spans[e] = append(t.spans[e], span{off, off + len(newBytes)})
 	t.addTouched(e)
 }
@@ -571,7 +622,7 @@ func (t *txn) commit() error {
 			continue
 		}
 		ver := wal.BlockVersion(e.Data) + 1
-		wal.SetBlockVersion(e.Data, ver)
+		t.fs.meta.Mutate(func() { wal.SetBlockVersion(e.Data, ver) })
 		for _, s := range spans {
 			ups = append(ups, wal.Update{
 				Addr: e.Addr,
@@ -635,7 +686,9 @@ func (t *txn) releaseSegs() {
 // Sync is the update demon body: force the log, write back all dirty
 // blocks, then let the log reclaim the records ("the permanent
 // locations are updated periodically (roughly every 30 seconds) by
-// the update demon", §4).
+// the update demon", §4). With FlushParallelism > 1 metadata and data
+// write-back proceed concurrently through the pipelined path; each
+// batch still honors the per-entry log-before-data rule.
 func (fs *FS) Sync() error {
 	fs.mu.Lock()
 	if fs.closed && fs.poisoned {
@@ -654,14 +707,20 @@ func (fs *FS) Sync() error {
 	}
 	fs.mu.Unlock()
 
-	var firstErr error
-	for _, e := range fs.meta.AllDirty() {
-		if err := fs.flushEntry(fs.meta, e); err != nil && firstErr == nil {
-			firstErr = err
-		}
+	var metaErr, dataErr error
+	if fs.cfg.FlushParallelism > 1 {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); metaErr = fs.flushRuns(fs.meta, fs.meta.AllDirty()) }()
+		go func() { defer wg.Done(); dataErr = fs.flushRuns(fs.data, fs.data.AllDirty()) }()
+		wg.Wait()
+	} else {
+		metaErr = fs.flushRuns(fs.meta, fs.meta.AllDirty())
+		dataErr = fs.flushRuns(fs.data, fs.data.AllDirty())
 	}
-	if err := fs.flushDataBatch(fs.data.AllDirty()); err != nil && firstErr == nil {
-		firstErr = err
+	firstErr := metaErr
+	if firstErr == nil {
+		firstErr = dataErr
 	}
 	if firstErr == nil {
 		fs.log.Release(target)
@@ -696,43 +755,198 @@ func (fs *FS) writeBehind() {
 
 // flushDataBatch writes back dirty data pages, coalescing adjacent
 // pages into large runs — the paper's "clustering writes to Petal
-// into naturally aligned 64 KB blocks" — which the Petal driver then
+// into naturally aligned 64 KB blocks" — which the Petal driver
 // transfers chunk-parallel.
 func (fs *FS) flushDataBatch(dirty []*cache.Entry) error {
-	if len(dirty) == 0 {
-		return nil
-	}
+	return fs.flushRuns(fs.data, dirty)
+}
+
+// flushRun is one coalesced write-back unit: contiguous dirty blocks
+// snapshotted into a single buffer with their dirty generations.
+type flushRun struct {
+	addr    int64
+	buf     []byte
+	entries []*cache.Entry
+	gens    []int64
+}
+
+// maxRunBytes caps one coalesced run (matches Petal's large-transfer
+// sweet spot without starving concurrency).
+const maxRunBytes = 1 << 20
+
+// coalesceRuns sorts dirty entries by address and groups adjacent
+// blocks into runs, snapshotting generations and data. Generations
+// are taken before the copy so a concurrent re-dirty keeps the entry
+// dirty (MarkCleanIfBatch will skip it).
+func coalesceRuns(pool *cache.Pool, dirty []*cache.Entry) []flushRun {
+	blockSize := pool.BlockSize()
 	sort.Slice(dirty, func(a, b int) bool { return dirty[a].Addr < dirty[b].Addr })
-	var firstErr error
+	var runs []flushRun
 	i := 0
 	for i < len(dirty) {
 		j := i + 1
-		for j < len(dirty) && dirty[j].Addr == dirty[j-1].Addr+int64(BlockSize) &&
-			(dirty[j].Addr-dirty[i].Addr) < (1<<20) {
+		for j < len(dirty) && dirty[j].Addr == dirty[j-1].Addr+int64(blockSize) &&
+			(dirty[j].Addr-dirty[i].Addr) < maxRunBytes {
 			j++
 		}
 		run := dirty[i:j]
-		buf := make([]byte, len(run)*BlockSize)
-		gens := make([]int64, len(run))
-		for k, e := range run {
-			gens[k] = fs.data.Gen(e)
-			copy(buf[k*BlockSize:], e.Data)
+		r := flushRun{
+			addr:    run[0].Addr,
+			buf:     make([]byte, len(run)*blockSize),
+			entries: run,
 		}
-		if err := fs.petalWrite(run[0].Addr, buf); err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-		} else {
-			for k, e := range run {
-				fs.data.MarkCleanIf(e, gens[k])
-			}
-			fs.mu.Lock()
-			fs.stats.BytesWritten += int64(len(buf))
-			fs.mu.Unlock()
-		}
+		r.gens = pool.SnapshotBatch(run, r.buf)
+		runs = append(runs, r)
 		i = j
 	}
+	return runs
+}
+
+// maxBatchBytes caps one scatter-gather dispatch; the Petal driver
+// further splits batches by replica server.
+const maxBatchBytes = 1 << 20
+
+// flushRuns writes back a set of dirty entries from one pool,
+// log-first. Serial mode (FlushParallelism <= 1) issues one Petal
+// write per coalesced run; pipelined mode packs runs into
+// scatter-gather batches and dispatches them through a bounded worker
+// pool, so one cache-sync round trip carries many runs and transfers
+// overlap.
+func (fs *FS) flushRuns(pool *cache.Pool, dirty []*cache.Entry) error {
+	if len(dirty) == 0 {
+		return nil
+	}
+	// Log-before-data: force the log through the newest record
+	// covering any of these blocks before writing them in place.
+	var maxSeq int64
+	for _, e := range dirty {
+		if e.Seq > maxSeq {
+			maxSeq = e.Seq
+		}
+	}
+	if err := fs.ensureLogFlushed(maxSeq); err != nil {
+		return err
+	}
+	runs := coalesceRuns(pool, dirty)
+	if fs.cfg.FlushParallelism <= 1 {
+		var firstErr error
+		for _, r := range runs {
+			if err := fs.writeRun(pool, r); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	// Pack runs into batches and dispatch through the worker pool.
+	var batches [][]flushRun
+	var cur []flushRun
+	bytes := 0
+	for _, r := range runs {
+		if len(cur) > 0 && bytes+len(r.buf) > maxBatchBytes {
+			batches = append(batches, cur)
+			cur, bytes = nil, 0
+		}
+		cur = append(cur, r)
+		bytes += len(r.buf)
+	}
+	batches = append(batches, cur)
+	return fs.flushWorkers(len(batches), func(i int) error {
+		return fs.writeRunBatch(pool, batches[i])
+	})
+}
+
+// writeRun writes one coalesced run synchronously (serial path).
+func (fs *FS) writeRun(pool *cache.Pool, r flushRun) error {
+	if err := fs.petalWrite(r.addr, r.buf); err != nil {
+		return err
+	}
+	pool.MarkCleanIfBatch(r.entries, r.gens)
+	fs.mu.Lock()
+	fs.stats.BytesWritten += int64(len(r.buf))
+	fs.stats.FlushRuns++
+	fs.stats.FlushPages += int64(len(r.entries))
+	fs.mu.Unlock()
+	return nil
+}
+
+// writeRunBatch sends one batch of runs as a single scatter-gather
+// write and marks the covered entries clean on success.
+func (fs *FS) writeRunBatch(pool *cache.Pool, batch []flushRun) error {
+	exts := make([]petal.Extent, len(batch))
+	total := 0
+	for i, r := range batch {
+		exts[i] = petal.Extent{Off: r.addr, Data: r.buf}
+		total += len(r.buf)
+	}
+	if err := fs.petalWriteV(exts); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	fs.stats.BytesWritten += int64(total)
+	fs.stats.FlushBatches++
+	fs.stats.FlushRuns += int64(len(batch))
+	fs.mu.Unlock()
+	for _, r := range batch {
+		pool.MarkCleanIfBatch(r.entries, r.gens)
+		fs.mu.Lock()
+		fs.stats.FlushPages += int64(len(r.entries))
+		fs.mu.Unlock()
+	}
+	return nil
+}
+
+// flushWorkers runs fn(i) for every i in [0, n) on up to
+// FlushParallelism workers, tracking the in-flight peak. All n run
+// regardless of failures; the first error is returned.
+func (fs *FS) flushWorkers(n int, fn func(int) error) error {
+	par := fs.cfg.FlushParallelism
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			fs.noteFlushInFlight(1)
+			err := fn(i)
+			fs.noteFlushInFlight(-1)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	sem := make(chan struct{}, par)
+	errCh := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			fs.noteFlushInFlight(1)
+			errCh <- fn(i)
+			fs.noteFlushInFlight(-1)
+			<-sem
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	var firstErr error
+	for err := range errCh {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	return firstErr
+}
+
+func (fs *FS) noteFlushInFlight(d int64) {
+	fs.mu.Lock()
+	fs.flushInFlight += d
+	if fs.flushInFlight > fs.stats.FlushPeakInFlight {
+		fs.stats.FlushPeakInFlight = fs.flushInFlight
+	}
+	fs.mu.Unlock()
 }
 
 // reclaimLog is the WAL's space-pressure callback: make records
@@ -744,15 +958,13 @@ func (fs *FS) reclaimLog(through int64) {
 		fs.flushed = fs.appended
 	}
 	fs.mu.Unlock()
-	ok := true
+	var old []*cache.Entry
 	for _, e := range fs.meta.AllDirty() {
 		if e.Seq <= through {
-			if err := fs.flushEntry(fs.meta, e); err != nil {
-				ok = false
-			}
+			old = append(old, e)
 		}
 	}
-	if ok {
+	if err := fs.flushRuns(fs.meta, old); err == nil {
 		fs.log.Release(through)
 	}
 }
@@ -804,12 +1016,10 @@ func (fs *FS) flushOwner(lock uint64) {
 			return
 		}
 		ok := true
-		for _, e := range dirtyMeta {
-			if err := fs.flushEntry(fs.meta, e); err != nil {
-				ok = false
-			}
+		if err := fs.flushRuns(fs.meta, dirtyMeta); err != nil {
+			ok = false
 		}
-		if err := fs.flushDataBatch(dirtyData); err != nil {
+		if err := fs.flushRuns(fs.data, dirtyData); err != nil {
 			ok = false
 		}
 		if ok {

@@ -111,6 +111,33 @@ type (
 		OK  bool
 		Err string
 	}
+	// WriteVExtent is one piece of a scatter-gather write: Data lands
+	// at Off within Chunk.
+	WriteVExtent struct {
+		Chunk int64
+		Off   int
+		Data  []byte
+	}
+	// WriteVReq is a multi-extent write: the server applies every
+	// extent under a single lease/epoch check, so one cache-sync round
+	// trip carries many coalesced dirty runs. Lease, epoch, and
+	// forwarding semantics match WriteReq.
+	WriteVReq struct {
+		VDisk     VDiskID
+		Extents   []WriteVExtent
+		Forwarded bool
+		ExpireAt  int64
+		LeaseID   uint64
+		Epoch     int64
+	}
+	// WriteVResp acknowledges a scatter-gather write. All extents
+	// applied (OK) or the batch failed at the first bad extent (Err);
+	// the client falls back to per-chunk writes to sort out partial
+	// progress — replays are idempotent at the store.
+	WriteVResp struct {
+		OK  bool
+		Err string
+	}
 	// DecommitReq frees physical space for a chunk range of a vdisk.
 	DecommitReq struct {
 		VDisk      VDiskID
@@ -177,6 +204,15 @@ func (r ReadResp) WireSize() int { return len(r.Data) }
 
 // WireSize reports the payload size of a write request.
 func (w WriteReq) WireSize() int { return len(w.Data) }
+
+// WireSize reports the total payload size of a scatter-gather write.
+func (w WriteVReq) WireSize() int {
+	n := 0
+	for _, e := range w.Extents {
+		n += len(e.Data)
+	}
+	return n
+}
 
 // WireSize reports the payload size of a chunk fetch.
 func (c ChunkFetchResp) WireSize() int { return len(c.Data) }

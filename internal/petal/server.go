@@ -1,6 +1,7 @@
 package petal
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -187,6 +188,8 @@ func (s *Server) handle(from string, body any) any {
 		return s.onRead(m)
 	case WriteReq:
 		return s.onWrite(m, from)
+	case WriteVReq:
+		return s.onWriteV(m)
 	case DecommitReq:
 		return s.onDecommit(m)
 	case AdminReq:
@@ -299,6 +302,42 @@ func (s *Server) onRead(m ReadReq) ReadResp {
 	return ReadResp{OK: true, Data: data}
 }
 
+// resolveWriteEpoch maps a vdisk to its writable (base, ceiling)
+// pair for a write stamped with epoch. If the writer's epoch is ahead
+// the server waits for its Paxos apply loop to catch up; a writer
+// behind a snapshot gets ErrStaleEpoch (refresh and retry).
+func (s *Server) resolveWriteEpoch(v VDiskID, epoch int64) (base VDiskID, ceiling int64, st GlobalState, errStr string) {
+	var writable bool
+	waitLimit := s.w.Clock.Now() + sim.Time(dataTimeout)
+	for {
+		s.mu.Lock()
+		var err error
+		base, ceiling, writable, err = s.state.resolve(v)
+		st = s.state
+		s.mu.Unlock()
+		if err != nil {
+			return "", 0, st, err.Error()
+		}
+		if epoch == 0 || ceiling >= epoch {
+			break
+		}
+		if s.w.Clock.Now() >= waitLimit || s.isDown() {
+			return "", 0, st, ErrUnavailable.Error()
+		}
+		s.w.Clock.Sleep(20 * time.Millisecond)
+	}
+	if !writable {
+		return "", 0, st, ErrReadOnly.Error()
+	}
+	if epoch != 0 && ceiling > epoch {
+		return "", 0, st, ErrStaleEpoch.Error()
+	}
+	if epoch != 0 {
+		ceiling = epoch
+	}
+	return base, ceiling, st, ""
+}
+
 func (s *Server) onWrite(m WriteReq, from string) WriteResp {
 	s.chargeCPU(len(m.Data))
 	if g := s.cfg.WriteGuard; g != nil && !m.Forwarded {
@@ -306,39 +345,9 @@ func (s *Server) onWrite(m WriteReq, from string) WriteResp {
 			return WriteResp{Err: ErrLeaseExpired.Error()}
 		}
 	}
-	var base VDiskID
-	var ceiling int64
-	var writable bool
-	var st GlobalState
-	// If the writer stamped an epoch, wait for our Paxos apply loop to
-	// catch up to it before resolving; reject writers that are behind
-	// a snapshot (they must refresh and retry at the new epoch).
-	waitLimit := s.w.Clock.Now() + sim.Time(dataTimeout)
-	for {
-		s.mu.Lock()
-		var err error
-		base, ceiling, writable, err = s.state.resolve(m.VDisk)
-		st = s.state
-		s.mu.Unlock()
-		if err != nil {
-			return WriteResp{Err: err.Error()}
-		}
-		if m.Epoch == 0 || ceiling >= m.Epoch {
-			break
-		}
-		if s.w.Clock.Now() >= waitLimit || s.isDown() {
-			return WriteResp{Err: ErrUnavailable.Error()}
-		}
-		s.w.Clock.Sleep(20 * time.Millisecond)
-	}
-	if !writable {
-		return WriteResp{Err: ErrReadOnly.Error()}
-	}
-	if m.Epoch != 0 && ceiling > m.Epoch {
-		return WriteResp{Err: ErrStaleEpoch.Error()}
-	}
-	if m.Epoch != 0 {
-		ceiling = m.Epoch
+	base, ceiling, st, errStr := s.resolveWriteEpoch(m.VDisk, m.Epoch)
+	if errStr != "" {
+		return WriteResp{Err: errStr}
 	}
 	if m.Off < 0 || m.Off+len(m.Data) > ChunkSize {
 		return WriteResp{Err: ErrBounds.Error()}
@@ -350,6 +359,153 @@ func (s *Server) onWrite(m WriteReq, from string) WriteResp {
 		s.replicate(st, base, ceiling, m)
 	}
 	return WriteResp{OK: true}
+}
+
+// onWriteV applies a scatter-gather write: one lease check and one
+// epoch resolution cover every extent, then the extents land on the
+// local store in order. Replication forwards the extents grouped by
+// partner so the batch stays batched on the replica hop too.
+func (s *Server) onWriteV(m WriteVReq) WriteVResp {
+	total := 0
+	for _, e := range m.Extents {
+		total += len(e.Data)
+	}
+	s.chargeCPU(total)
+	if g := s.cfg.WriteGuard; g != nil && !m.Forwarded {
+		// The guard inspects lease fields only; hand it an equivalent
+		// single-write request.
+		probe := WriteReq{VDisk: m.VDisk, ExpireAt: m.ExpireAt, LeaseID: m.LeaseID, Epoch: m.Epoch}
+		if !g(probe, int64(s.w.Clock.Now())) {
+			return WriteVResp{Err: ErrLeaseExpired.Error()}
+		}
+	}
+	base, ceiling, st, errStr := s.resolveWriteEpoch(m.VDisk, m.Epoch)
+	if errStr != "" {
+		return WriteVResp{Err: errStr}
+	}
+	for _, e := range m.Extents {
+		if e.Off < 0 || e.Off+len(e.Data) > ChunkSize {
+			return WriteVResp{Err: ErrBounds.Error()}
+		}
+	}
+	if errStr := s.applyExtents(base, ceiling, m.Extents); errStr != "" {
+		return WriteVResp{Err: errStr}
+	}
+	if !m.Forwarded && !s.cfg.NoReplicate {
+		s.replicateV(st, base, ceiling, m)
+	}
+	return WriteVResp{OK: true}
+}
+
+// writeVApplyPar bounds concurrent store writes while applying one
+// scatter-gather batch; the disk arms serialize actual media time.
+const writeVApplyPar = 16
+
+// applyExtents applies a batch's extents to the local store with
+// bounded parallelism — the disk-level half of scatter-gather.
+// Extents whose sector-aligned spans overlap are chained into one
+// serial unit so read-modify-write at a shared edge sector stays
+// ordered; everything else proceeds concurrently. Returns the first
+// error string, or "".
+func (s *Server) applyExtents(base VDiskID, ceiling int64, exts []WriteVExtent) string {
+	units := conflictUnits(exts)
+	var (
+		wg   sync.WaitGroup
+		emu  sync.Mutex
+		ferr string
+	)
+	sem := make(chan struct{}, writeVApplyPar)
+	for _, u := range units {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(u []WriteVExtent) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			for _, e := range u {
+				if err := s.st.writeChunk(base, e.Chunk, ceiling, e.Off, e.Data); err != nil {
+					emu.Lock()
+					if ferr == "" {
+						ferr = err.Error()
+					}
+					emu.Unlock()
+					return
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	return ferr
+}
+
+// conflictUnits sorts extents by (chunk, offset) and chains those
+// whose sector-aligned spans overlap into one serial unit.
+func conflictUnits(exts []WriteVExtent) [][]WriteVExtent {
+	sorted := append([]WriteVExtent(nil), exts...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Chunk != sorted[b].Chunk {
+			return sorted[a].Chunk < sorted[b].Chunk
+		}
+		return sorted[a].Off < sorted[b].Off
+	})
+	var units [][]WriteVExtent
+	var unitChunk, unitHi int64 // current unit's chunk and aligned end
+	for _, e := range sorted {
+		lo := int64(e.Off) &^ (sim.SectorSize - 1)
+		hi := (int64(e.Off+len(e.Data)) + sim.SectorSize - 1) &^ (sim.SectorSize - 1)
+		if len(units) > 0 && e.Chunk == unitChunk && lo < unitHi {
+			units[len(units)-1] = append(units[len(units)-1], e)
+			if hi > unitHi {
+				unitHi = hi
+			}
+			continue
+		}
+		units = append(units, []WriteVExtent{e})
+		unitChunk, unitHi = e.Chunk, hi
+	}
+	return units
+}
+
+// replicateV forwards a scatter-gather write to partner replicas,
+// grouped so each partner receives one batched request covering the
+// extents it replicates. Extents whose partner misses the forward are
+// recorded chunk-by-chunk for rejoin/anti-entropy repair.
+func (s *Server) replicateV(st GlobalState, base VDiskID, epoch int64, m WriteVReq) {
+	byPartner := make(map[string][]WriteVExtent)
+	for _, e := range m.Extents {
+		p1, p2 := st.replicas(base, e.Chunk)
+		partner := p1
+		if p1 == s.name {
+			partner = p2
+		}
+		if partner == "" || partner == s.name {
+			continue
+		}
+		byPartner[partner] = append(byPartner[partner], e)
+	}
+	for partner, exts := range byPartner {
+		fw := WriteVReq{VDisk: m.VDisk, Extents: exts, Forwarded: true, Epoch: epoch}
+		s.mu.Lock()
+		partnerAlive := st.Alive[partner]
+		s.mu.Unlock()
+		if partnerAlive {
+			resp, err := s.ep.Call(DataAddr(partner), fw, dataTimeout)
+			if err == nil {
+				if wr, ok := resp.(WriteVResp); ok && wr.OK {
+					continue
+				}
+			}
+		}
+		s.mu.Lock()
+		mm := s.missed[partner]
+		if mm == nil {
+			mm = make(map[chunkKey]bool)
+			s.missed[partner] = mm
+		}
+		for _, e := range exts {
+			mm[chunkKey{base, e.Chunk, epoch}] = true
+		}
+		s.mu.Unlock()
+	}
 }
 
 // replicate forwards a client write to the partner replica, recording

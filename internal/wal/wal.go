@@ -86,7 +86,6 @@ type Log struct {
 	size   int64 // bytes
 	blocks int64 // log blocks
 
-	flushMu  sync.Mutex // serializes Flush bodies (shared boundary blocks)
 	mu       sync.Mutex
 	nextSeq  int64
 	head     int64 // stream position of next byte to write
@@ -96,9 +95,18 @@ type Log struct {
 	pending  []recSpan
 	reclaim  func(throughSeq int64)
 
-	appends int64
-	flushes int64
-	wrote   int64
+	// Group commit: at most one region write is in flight; concurrent
+	// Flush callers whose bytes it covers piggyback on it instead of
+	// issuing their own.
+	flushing  bool
+	flushDone chan struct{} // closed when the in-flight write completes
+	durable   int64         // stream position known durable in the region
+
+	appends        int64
+	flushes        int64
+	wrote          int64
+	groupMerges    int64
+	maxFlushBlocks int64
 }
 
 type recSpan struct {
@@ -232,63 +240,122 @@ func (l *Log) Release(throughSeq int64) {
 }
 
 // Flush writes all buffered records to the region (group commit) and
-// returns once they are durable there. Concurrent appends during the
-// write land in the next flush.
+// returns once every record appended before the call is durable
+// there. Concurrent callers merge: while one write is in flight,
+// later callers wait for it and piggyback if it covered their bytes,
+// so N concurrent Flushes cost far fewer than N region writes.
 func (l *Log) Flush() error {
-	l.flushMu.Lock()
-	defer l.flushMu.Unlock()
 	l.mu.Lock()
-	if len(l.buf) == 0 {
-		l.mu.Unlock()
-		return nil
-	}
-	buf := l.buf
-	start := l.bufStart
-	l.buf = nil
-	l.bufStart = l.head
-	l.flushes++
+	target := l.head
 	l.mu.Unlock()
+	return l.flushTo(target)
+}
 
-	// Write the stream bytes into their log blocks. A block is
-	// rewritten whole: LSN, anchor, payload.
+func (l *Log) flushTo(target int64) error {
+	for {
+		l.mu.Lock()
+		if l.durable >= target {
+			l.mu.Unlock()
+			return nil
+		}
+		if l.flushing {
+			// Piggyback: wait for the in-flight write, then re-check.
+			ch := l.flushDone
+			l.groupMerges++
+			l.mu.Unlock()
+			<-ch
+			continue
+		}
+		if len(l.buf) == 0 {
+			// Nothing buffered and no write in flight: everything
+			// appended before the call is already durable.
+			l.mu.Unlock()
+			return nil
+		}
+		buf, start := l.buf, l.bufStart
+		l.buf = nil
+		l.bufStart = l.head
+		l.flushing = true
+		l.flushDone = make(chan struct{})
+		l.flushes++
+		pend := append([]recSpan(nil), l.pending...)
+		l.mu.Unlock()
+
+		err := l.writeStream(buf, start, pend)
+
+		l.mu.Lock()
+		if err == nil {
+			if end := start + int64(len(buf)); end > l.durable {
+				l.durable = end
+			}
+		} else {
+			// Put the unwritten bytes back so a retry (after a
+			// transient Petal failure) rewrites them; appends during
+			// the attempt extended l.buf from start+len(buf).
+			l.buf = append(buf, l.buf...)
+			l.bufStart = start
+		}
+		l.flushing = false
+		close(l.flushDone)
+		l.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		// Records appended during the write may still be below target;
+		// loop to cover them.
+	}
+}
+
+// writeStream makes the stream bytes [start, start+len(buf)) durable.
+// Affected log blocks are assembled in memory — LSN, anchor, payload —
+// and written with one WriteAt per physically contiguous run (at most
+// two when the circular log wraps) instead of per-block I/O.
+func (l *Log) writeStream(buf []byte, start int64, pend []recSpan) error {
 	firstBlk := start / payloadPerBlock
 	lastBlk := (start + int64(len(buf)) - 1) / payloadPerBlock
+	nBlks := lastBlk - firstBlk + 1
+	big := make([]byte, nBlks*BlockSize)
+	// Preserve the prior payload of a leading partial block.
+	if start%payloadPerBlock != 0 {
+		off := firstBlk % l.blocks * BlockSize
+		if err := l.region.ReadAt(big[blockHdr:BlockSize], off+blockHdr); err != nil {
+			return err
+		}
+	}
 	for b := firstBlk; b <= lastBlk; b++ {
+		blk := big[(b-firstBlk)*BlockSize : (b-firstBlk+1)*BlockSize]
 		blkStart := b * payloadPerBlock
 		blkEnd := blkStart + payloadPerBlock
-		blk := make([]byte, BlockSize)
 		binary.LittleEndian.PutUint64(blk[0:8], uint64(b+1)) // LSN, monotone
-		anchor := l.anchorFor(blkStart, blkEnd)
-		binary.LittleEndian.PutUint16(blk[8:10], anchor)
-		// Fill payload from buf where it overlaps, preserving prior
-		// payload for the leading partial block.
-		off := b % l.blocks * BlockSize
-		if blkStart < start {
-			if err := l.region.ReadAt(blk[blockHdr:], off+blockHdr); err != nil {
-				return err
-			}
-			// Re-write header fields over what we read.
-		}
+		binary.LittleEndian.PutUint16(blk[8:10], anchorIn(pend, blkStart, blkEnd))
 		lo := max64(blkStart, start)
 		hi := min64(blkEnd, start+int64(len(buf)))
 		copy(blk[blockHdr+(lo-blkStart):], buf[lo-start:hi-start])
-		if err := l.region.WriteAt(blk, off); err != nil {
+	}
+	var written int64
+	for idx := int64(0); idx < nBlks; {
+		phys := (firstBlk + idx) % l.blocks
+		runLen := min64(nBlks-idx, l.blocks-phys)
+		if err := l.region.WriteAt(big[idx*BlockSize:(idx+runLen)*BlockSize], phys*BlockSize); err != nil {
 			return err
 		}
-		l.mu.Lock()
-		l.wrote += BlockSize
-		l.mu.Unlock()
+		written += runLen * BlockSize
+		idx += runLen
 	}
+	l.mu.Lock()
+	l.wrote += written
+	if nBlks > l.maxFlushBlocks {
+		l.maxFlushBlocks = nBlks
+	}
+	l.mu.Unlock()
 	return nil
 }
 
-// anchorFor returns the payload offset of the first record starting
+// anchorIn returns the payload offset of the first record starting
 // inside the given stream range, or noAnchor.
-func (l *Log) anchorFor(blkStart, blkEnd int64) uint16 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+func anchorIn(pend []recSpan, blkStart, blkEnd int64) uint16 {
 	best := int64(-1)
-	for _, sp := range l.pending {
+	for _, sp := range pend {
 		if sp.start >= blkStart && sp.start < blkEnd {
 			if best == -1 || sp.start < best {
 				best = sp.start
@@ -301,12 +368,32 @@ func (l *Log) anchorFor(blkStart, blkEnd int64) uint16 {
 	return uint16(best - blkStart)
 }
 
-// Stats returns counters for benchmarks: records appended, flushes
-// (group commits), and log bytes written.
-func (l *Log) Stats() (appends, flushes, bytesWritten int64) {
+// Stats aggregates the log's counters for benchmarks.
+type Stats struct {
+	// Appends is the number of records appended.
+	Appends int64
+	// Flushes is the number of group-commit region writes issued.
+	Flushes int64
+	// BytesWritten is the log bytes written to the region.
+	BytesWritten int64
+	// GroupMerges counts Flush callers that piggybacked on another
+	// caller's in-flight write instead of issuing their own.
+	GroupMerges int64
+	// MaxFlushBlocks is the largest single flush, in log blocks.
+	MaxFlushBlocks int64
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.appends, l.flushes, l.wrote
+	return Stats{
+		Appends:        l.appends,
+		Flushes:        l.flushes,
+		BytesWritten:   l.wrote,
+		GroupMerges:    l.groupMerges,
+		MaxFlushBlocks: l.maxFlushBlocks,
+	}
 }
 
 // Pending returns the sequence range of records not yet released,

@@ -5,8 +5,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 // memRegion is an in-memory BlockRegion for tests.
@@ -272,16 +274,158 @@ func TestGroupCommit(t *testing.T) {
 	if err := l.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	appends, flushes, _ := l.Stats()
-	if appends != 20 || flushes != 1 {
-		t.Fatalf("appends=%d flushes=%d, want 20/1 (group commit)", appends, flushes)
+	st := l.Stats()
+	if st.Appends != 20 || st.Flushes != 1 {
+		t.Fatalf("appends=%d flushes=%d, want 20/1 (group commit)", st.Appends, st.Flushes)
 	}
 	// 20 small records (~50 bytes) fit in ~3 blocks; far fewer than 20
 	// block writes must have happened.
-	_, _, wrote := l.Stats()
-	if wrote > 5*BlockSize {
-		t.Fatalf("wrote %d bytes for 20 records; group commit ineffective", wrote)
+	if st.BytesWritten > 5*BlockSize {
+		t.Fatalf("wrote %d bytes for 20 records; group commit ineffective", st.BytesWritten)
 	}
+}
+
+// syncedRegion is a memRegion safe for concurrent WriteAt/ReadAt,
+// with a per-write delay standing in for device latency so flushes
+// genuinely overlap with appends.
+type syncedRegion struct {
+	mu sync.Mutex
+	m  *memRegion
+}
+
+func (s *syncedRegion) ReadAt(p []byte, off int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.ReadAt(p, off)
+}
+
+func (s *syncedRegion) WriteAt(p []byte, off int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(200 * time.Microsecond)
+	return s.m.WriteAt(p, off)
+}
+
+func TestConcurrentFlushGroupCommit(t *testing.T) {
+	mem := newMemRegion(DefaultLogSize)
+	region := &syncedRegion{m: mem}
+	l := New(region, DefaultLogSize)
+	const (
+		workers   = 8
+		perWorker = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				n := w*perWorker + i
+				_, err := l.Append([]Update{upd(int64(n)*512, 0, uint64(n+1), byte(n), byte(n >> 8))})
+				if err != nil {
+					errs <- err
+					return
+				}
+				// Every caller demands durability, like fsync-heavy
+				// clients; group commit must merge them.
+				if err := l.Flush(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	total := int64(workers * perWorker)
+	if st.Appends != total {
+		t.Fatalf("appends = %d, want %d", st.Appends, total)
+	}
+	// With 8 concurrent committers every region write should carry
+	// several callers: far fewer physical flushes than Flush calls.
+	if st.Flushes >= total {
+		t.Fatalf("flushes = %d for %d Flush calls; no group commit", st.Flushes, total)
+	}
+	if st.GroupMerges == 0 {
+		t.Fatal("no Flush caller ever piggybacked on an in-flight write")
+	}
+	t.Logf("appends=%d flushes=%d merges=%d maxFlushBlocks=%d",
+		st.Appends, st.Flushes, st.GroupMerges, st.MaxFlushBlocks)
+
+	// Durability: every record must be recoverable, in order, and
+	// replay onto a fresh device must apply each exactly once.
+	recs, err := Scan(mem, DefaultLogSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(recs)) != total {
+		t.Fatalf("scanned %d records, want %d", len(recs), total)
+	}
+	seen := make(map[int64]bool)
+	for i, r := range recs {
+		if i > 0 && r.Seq <= recs[i-1].Seq {
+			t.Fatalf("records out of order at %d: %d after %d", i, r.Seq, recs[i-1].Seq)
+		}
+		if len(r.Updates) != 1 {
+			t.Fatalf("record %d has %d updates, want 1", i, len(r.Updates))
+		}
+		seen[r.Updates[0].Addr] = true
+	}
+	if int64(len(seen)) != total {
+		t.Fatalf("recovered %d distinct updates, want %d", len(seen), total)
+	}
+	dev := newMemRegion(int64(total+10) * 512)
+	applied, err := Replay(recs, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != int(total) {
+		t.Fatalf("replay applied %d updates, want %d", applied, total)
+	}
+}
+
+func TestFlushErrorKeepsRecordsBuffered(t *testing.T) {
+	mem := newMemRegion(DefaultLogSize)
+	fr := &failingRegion{m: mem, failWrites: true}
+	l := New(fr, DefaultLogSize)
+	if _, err := l.Append([]Update{upd(0, 0, 1, 0xAA)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err == nil {
+		t.Fatal("flush succeeded against failing region")
+	}
+	// The storage came back; a retried Flush must still write the
+	// record that failed the first time.
+	fr.failWrites = false
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Scan(mem, DefaultLogSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Updates[0].Data[0] != 0xAA {
+		t.Fatalf("record lost across transient flush failure: %+v", recs)
+	}
+}
+
+type failingRegion struct {
+	m          *memRegion
+	failWrites bool
+}
+
+func (f *failingRegion) ReadAt(p []byte, off int64) error { return f.m.ReadAt(p, off) }
+
+func (f *failingRegion) WriteAt(p []byte, off int64) error {
+	if f.failWrites {
+		return errors.New("injected write failure")
+	}
+	return f.m.WriteAt(p, off)
 }
 
 func TestBlockVersionHelpers(t *testing.T) {
