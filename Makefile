@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench bench-smoke
 
 ## check: the tier-1 gate — vet, build, and race-enabled tests.
 check: vet build race
@@ -19,3 +19,9 @@ race:
 
 bench:
 	$(GO) run ./cmd/frangibench -quick
+
+## bench-smoke: fails if the observability stack goes dark — the
+## obs-smoke experiment errors out when the metrics snapshot is empty
+## or the Sync trace does not cover all four layers.
+bench-smoke:
+	$(GO) run ./cmd/frangibench -quick -exp obs-smoke

@@ -26,6 +26,7 @@ import (
 
 	"frangipani/internal/fs"
 	"frangipani/internal/lockservice"
+	"frangipani/internal/obs"
 	"frangipani/internal/petal"
 	"frangipani/internal/sim"
 )
@@ -94,6 +95,14 @@ type ClusterConfig struct {
 	// NoReplicate disables Petal write replication (a benchmark
 	// ablation knob; unsafe under failures).
 	NoReplicate bool
+	// NoObs disables the cluster-wide metrics registry and tracer (an
+	// ablation knob for measuring instrumentation overhead): only the
+	// always-on standalone counters remain.
+	NoObs bool
+	// SlowOpThreshold, if > 0, makes the tracer keep a rendered span
+	// tree for every root operation at least this slow (simulated
+	// time); retrieve them with Obs().Tracer().SlowDumps().
+	SlowOpThreshold time.Duration
 }
 
 // DefaultClusterConfig mirrors a small version of the paper's
@@ -137,6 +146,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, fmt.Errorf("frangipani: need at least one petal and one lock server")
 	}
 	w := sim.NewWorld(cfg.Compression, cfg.Seed)
+	if cfg.NoObs {
+		w.Obs = nil
+	} else if cfg.SlowOpThreshold > 0 {
+		w.Obs.Tracer().SetSlowThreshold(cfg.SlowOpThreshold)
+	}
 	c := &Cluster{
 		World:   w,
 		cfg:     cfg,
@@ -181,6 +195,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 
 // Layout exposes the on-disk layout in use.
 func (c *Cluster) Layout() fs.Layout { return c.lay }
+
+// Obs returns the cluster-wide metrics registry and tracer (nil when
+// the cluster was built with NoObs). Every layer of every machine in
+// the cluster records into it under "layer.op.metric#instance" names;
+// Obs().Snapshot() captures the lot.
+func (c *Cluster) Obs() *obs.Registry { return c.World.Obs }
 
 // LockServerNames returns the lock service membership.
 func (c *Cluster) LockServerNames() []string {

@@ -17,6 +17,7 @@ import (
 	"os"
 	"os/exec"
 
+	"frangipani"
 	"frangipani/internal/bench"
 )
 
@@ -24,6 +25,7 @@ var names = []string{
 	"table1", "table2", "table3",
 	"fig5", "fig6", "fig7", "fig7-norepl", "fig8", "fig9",
 	"wshare", "smallreads", "ablation-synclog", "writeback-pipeline",
+	"obs-overhead", "obs-smoke",
 }
 
 func main() {
@@ -34,12 +36,21 @@ func main() {
 		compression = flag.Float64("compression", 1, "simulated seconds per real second")
 		machines    = flag.Int("machines", 6, "maximum Frangipani machines in scaling sweeps")
 		petals      = flag.Int("petals", 7, "number of Petal servers")
+		snapshot    = flag.String("snapshot", "", "run a small workload and dump the metrics registry (text|json)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, n := range names {
 			fmt.Println(n)
+		}
+		return
+	}
+
+	if *snapshot != "" {
+		if err := dumpSnapshot(*snapshot); err != nil {
+			fmt.Fprintln(os.Stderr, "frangibench:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -90,4 +101,42 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// dumpSnapshot runs a tiny workload on a default cluster and prints
+// the full metrics registry plus the span tree of the final Sync —
+// a quick way to see what the observability layer records.
+func dumpSnapshot(format string) error {
+	c, err := frangipani.NewCluster(frangipani.DefaultClusterConfig())
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	f, err := c.AddServer("ws1")
+	if err != nil {
+		return err
+	}
+	if err := f.Mkdir("/demo"); err != nil {
+		return err
+	}
+	h, err := f.OpenFile("/demo/a", true)
+	if err != nil {
+		return err
+	}
+	if _, err := h.WriteAt(make([]byte, 64<<10), 0); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	reg := c.Obs()
+	if format == "json" {
+		fmt.Println(reg.Snapshot().JSON())
+		return nil
+	}
+	fmt.Print(reg.Snapshot().Text())
+	tr := reg.Tracer()
+	fmt.Println()
+	fmt.Print(tr.RenderTrace(tr.LastRoot()))
+	return nil
 }

@@ -64,6 +64,10 @@ func main() {
   ln -s <tgt> <path>   symlink
   stat <path>          show metadata
   sync                 flush this server
+  stats [json|trace|slow]
+                       cluster metrics snapshot; 'trace' renders the
+                       span tree of the last completed operation,
+                       'slow' dumps recorded slow operations
   fsck                 offline consistency check
   quit`)
 		case "on":
@@ -127,6 +131,33 @@ func main() {
 			}
 		case "sync":
 			err = fs.Sync()
+		case "stats":
+			reg := cluster.Obs()
+			if reg == nil {
+				fmt.Println("observability disabled")
+				break
+			}
+			switch arg(args, 1) {
+			case "json":
+				fmt.Println(reg.Snapshot().JSON())
+			case "trace":
+				tr := reg.Tracer()
+				if out := tr.RenderTrace(tr.LastRoot()); out != "" {
+					fmt.Print(out)
+				} else {
+					fmt.Println("no completed trace yet")
+				}
+			case "slow":
+				dumps := reg.Tracer().SlowDumps()
+				if len(dumps) == 0 {
+					fmt.Println("no slow operations recorded (set ClusterConfig.SlowOpThreshold)")
+				}
+				for _, d := range dumps {
+					fmt.Print(d)
+				}
+			default:
+				fmt.Print(reg.Snapshot().Text())
+			}
 		case "fsck":
 			for _, f := range servers {
 				_ = f.Sync()

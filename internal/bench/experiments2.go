@@ -508,6 +508,8 @@ func (o Options) All() ([]*Table, error) {
 		{"smallreads", o.SmallReads},
 		{"ablation-synclog", o.AblationSyncLog},
 		{"writeback-pipeline", o.WritebackPipeline},
+		{"obs-overhead", o.ObsOverhead},
+		{"obs-smoke", o.ObsSmoke},
 	}
 	var out []*Table
 	for _, e := range exps {
@@ -549,6 +551,10 @@ func (o Options) ByName(name string) (*Table, error) {
 		return o.AblationSyncLog()
 	case "writeback-pipeline":
 		return o.WritebackPipeline()
+	case "obs-overhead":
+		return o.ObsOverhead()
+	case "obs-smoke":
+		return o.ObsSmoke()
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q", name)
 }

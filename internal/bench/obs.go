@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"frangipani"
+	"frangipani/internal/sim"
+)
+
+// wbSyncLatency runs the write-back pipeline workload (the PR 1
+// benchmark: 24 files x 32 KB dirtied, then one update-demon Sync)
+// and returns the Sync latency. noObs disables the metrics registry
+// and tracer so the difference between the two runs is pure
+// instrumentation overhead.
+func (o Options) wbSyncLatency(par int, noObs bool) (sim.Duration, error) {
+	c, err := o.newCluster(true, func(cc *frangipani.ClusterConfig) { cc.NoObs = noObs })
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	fss, err := mountN(c, 1, func(fc *frangipani.Config) { fc.FlushParallelism = par })
+	if err != nil {
+		return 0, err
+	}
+	f := fss[0]
+	if err := f.Mkdir("/wb"); err != nil {
+		return 0, err
+	}
+	files := 24
+	if o.Quick {
+		files = 12
+	}
+	buf := make([]byte, 32<<10)
+	for i := range buf {
+		buf[i] = byte(i * 31)
+	}
+	for i := 0; i < files; i++ {
+		h, err := f.OpenFile(fmt.Sprintf("/wb/f%d", i), true)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := h.WriteAt(buf, 0); err != nil {
+			return 0, err
+		}
+	}
+	start := c.World.Clock.Now()
+	if err := f.Sync(); err != nil {
+		return 0, err
+	}
+	return sim.Duration(c.World.Clock.Now() - start), nil
+}
+
+// ObsOverhead measures the cost of the observability layer: the
+// write-back pipeline workload run with the full metrics registry and
+// tracer enabled versus the NoObs ablation, for both the serial and
+// pipelined flush paths. The acceptance budget is <= 5% added Sync
+// latency.
+func (o Options) ObsOverhead() (*Table, error) {
+	t := &Table{
+		ID:     "Observability overhead",
+		Title:  "Sync latency with and without metrics/tracing instrumentation",
+		Header: []string{"Mode", "obs on (ms)", "obs off (ms)", "overhead"},
+		Notes:  "Latencies are simulated time; instrumentation runs on the host, so overhead only shows up when host-side work delays simulated events. Budget: <= 5%.",
+	}
+	trials := 3
+	if o.Quick {
+		trials = 1
+	}
+	// Host scheduling noise leaks into simulated latency; the minimum
+	// over trials isolates the intrinsic cost of the instrumentation.
+	best := func(par int, noObs bool) (sim.Duration, error) {
+		var min sim.Duration
+		for i := 0; i < trials; i++ {
+			d, err := o.wbSyncLatency(par, noObs)
+			if err != nil {
+				return 0, err
+			}
+			if i == 0 || d < min {
+				min = d
+			}
+		}
+		return min, nil
+	}
+	for _, mode := range []struct {
+		name string
+		par  int
+	}{
+		{"serial (par=1)", 1},
+		{"pipelined (par=8)", 8},
+	} {
+		on, err := best(mode.par, false)
+		if err != nil {
+			return nil, err
+		}
+		off, err := best(mode.par, true)
+		if err != nil {
+			return nil, err
+		}
+		overhead := 0.0
+		if off > 0 {
+			overhead = (float64(on) - float64(off)) / float64(off) * 100
+		}
+		t.Rows = append(t.Rows, []string{
+			mode.name, ms(on), ms(off), fmt.Sprintf("%+.1f%%", overhead),
+		})
+	}
+	return t, nil
+}
+
+// ObsSmoke exercises the observability stack end to end on a tiny
+// workload and fails if it is dark: the registry snapshot must be
+// non-empty and the span tree of a Sync must cover the fs, wal,
+// lockservice, and petal layers. Run by `make bench-smoke` in CI.
+func (o Options) ObsSmoke() (*Table, error) {
+	t := &Table{
+		ID:     "Observability smoke",
+		Title:  "Metrics snapshot and cross-layer trace after a small workload",
+		Header: []string{"Check", "Result"},
+	}
+	c, err := o.newCluster(true, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	fss, err := mountN(c, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	f := fss[0]
+	if err := f.Mkdir("/smoke"); err != nil {
+		return nil, err
+	}
+	h, err := f.OpenFile("/smoke/a", true)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := h.WriteAt(make([]byte, 8<<10), 0); err != nil {
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		return nil, err
+	}
+	reg := c.Obs()
+	snap := reg.Snapshot()
+	if snap.Empty() {
+		return nil, fmt.Errorf("obs-smoke: metrics snapshot is empty after workload")
+	}
+	tr := reg.Tracer()
+	layers := map[string]bool{}
+	for _, sp := range tr.SpansFor(tr.LastRoot()) {
+		layers[sp.Layer] = true
+	}
+	for _, want := range []string{"fs", "wal", "lockservice", "petal"} {
+		if !layers[want] {
+			return nil, fmt.Errorf("obs-smoke: Sync trace has no %q span (got %v)", want, layers)
+		}
+	}
+	var names []string
+	for l := range layers {
+		names = append(names, l)
+	}
+	sort.Strings(names)
+	t.Rows = append(t.Rows, []string{"counters", fmt.Sprintf("%d", len(snap.Counters))})
+	t.Rows = append(t.Rows, []string{"histograms", fmt.Sprintf("%d", len(snap.Histograms))})
+	t.Rows = append(t.Rows, []string{"sync trace layers", strings.Join(names, " ")})
+	return t, nil
+}

@@ -17,6 +17,8 @@ package cache
 import (
 	"container/list"
 	"sync"
+
+	"frangipani/internal/obs"
 )
 
 // Entry is one cached block. Data is mutated in place by the owner
@@ -53,11 +55,12 @@ type Pool struct {
 	lru     *list.List // front = most recent
 	byOwner map[uint64]map[int64]*Entry
 
-	hits, misses int64
+	hits, misses, evictions *obs.Counter
 }
 
 // NewPool creates a cache holding up to capacity blocks of blockSize
-// bytes.
+// bytes. Counters start standalone; SetObs repoints them at a
+// registry.
 func NewPool(blockSize, capacity int) *Pool {
 	return &Pool{
 		blockSize: blockSize,
@@ -65,7 +68,24 @@ func NewPool(blockSize, capacity int) *Pool {
 		entries:   make(map[int64]*Entry),
 		lru:       list.New(),
 		byOwner:   make(map[uint64]map[int64]*Entry),
+		hits:      obs.NewCounter(),
+		misses:    obs.NewCounter(),
+		evictions: obs.NewCounter(),
 	}
+}
+
+// SetObs attaches the pool's counters to a registry under
+// "cache.<metric>#<instance>". Call before concurrent use; a nil
+// registry keeps the standalone counters.
+func (p *Pool) SetObs(reg *obs.Registry, instance string) {
+	if reg == nil {
+		return
+	}
+	p.mu.Lock()
+	p.hits = reg.Counter("cache.hits#" + instance)
+	p.misses = reg.Counter("cache.misses#" + instance)
+	p.evictions = reg.Counter("cache.evictions#" + instance)
+	p.mu.Unlock()
 }
 
 // SetFlusher installs the dirty-eviction callback.
@@ -85,9 +105,9 @@ func (p *Pool) Lookup(addr int64) (*Entry, bool) {
 	e, ok := p.entries[addr]
 	if ok {
 		p.lru.MoveToFront(e.elem)
-		p.hits++
+		p.hits.Inc()
 	} else {
-		p.misses++
+		p.misses.Inc()
 	}
 	return e, ok
 }
@@ -154,6 +174,7 @@ func (p *Pool) collectVictimsLocked() []*Entry {
 		p.lru.Remove(elem)
 		delete(p.entries, e.Addr)
 		p.removeOwnerLocked(e)
+		p.evictions.Inc()
 		if e.Dirty {
 			dirty = append(dirty, e)
 		}
@@ -344,5 +365,35 @@ func (p *Pool) Len() int {
 func (p *Pool) Stats() (hits, misses int64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.hits, p.misses
+	return p.hits.Value(), p.misses.Value()
+}
+
+// Evictions reports the number of capacity evictions.
+func (p *Pool) Evictions() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.evictions.Value()
+}
+
+// EntrySeq reads the entry's covering log sequence under the pool
+// lock (Seq is written under it by MarkDirty, so unsynchronized
+// reads would race).
+func (p *Pool) EntrySeq(e *Entry) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return e.Seq
+}
+
+// MaxSeq returns the highest covering log sequence across the
+// entries, read with one lock acquisition.
+func (p *Pool) MaxSeq(es []*Entry) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var max int64
+	for _, e := range es {
+		if e.Seq > max {
+			max = e.Seq
+		}
+	}
+	return max
 }

@@ -134,7 +134,16 @@ func (fs *FS) ensureBlock(t *txn, in *Inode, off int64, isDir bool) error {
 // WriteAt writes p at byte offset off, allocating blocks as needed.
 // Data is staged in the buffer cache (not logged); metadata changes
 // (allocation, size, mtime) are logged.
-func (f *File) WriteAt(p []byte, off int64) (int, error) {
+func (f *File) WriteAt(p []byte, off int64) (n int, err error) {
+	err = f.fs.traced("write", func() error {
+		var e error
+		n, e = f.writeAt(p, off)
+		return e
+	})
+	return n, err
+}
+
+func (f *File) writeAt(p []byte, off int64) (int, error) {
 	fs := f.fs
 	if err := fs.usable(); err != nil {
 		return 0, err
@@ -235,7 +244,16 @@ func (fs *FS) zeroRange(in Inode, lo, hi int64, lock uint64) {
 // ReadAt reads into p from byte offset off. Holes read as zeros;
 // reads past EOF return io.EOF. Sequential reads trigger read-ahead
 // when enabled.
-func (f *File) ReadAt(p []byte, off int64) (int, error) {
+func (f *File) ReadAt(p []byte, off int64) (n int, err error) {
+	err = f.fs.traced("read", func() error {
+		var e error
+		n, e = f.readAt(p, off)
+		return e
+	})
+	return n, err
+}
+
+func (f *File) readAt(p []byte, off int64) (int, error) {
 	fs := f.fs
 	if err := fs.usable(); err != nil {
 		return 0, err
@@ -427,9 +445,7 @@ func (fs *FS) maybePrefetch(inum int64, in Inode, readPos int64, pages int) {
 			if err := fs.pc.Read(fs.vd, pageAddr, buf); err != nil {
 				return
 			}
-			fs.mu.Lock()
-			fs.stats.BytesRead += int64(len(buf))
-			fs.mu.Unlock()
+			fs.m.bytesRead.Add(int64(len(buf)))
 			// Validity gate: only while we still hold the lock may the
 			// fetched pages enter the cache.
 			if fs.clerk.TryLock(lock, lockservice.Shared) {
@@ -441,14 +457,10 @@ func (fs *FS) maybePrefetch(inum int64, in Inode, readPos int64, pages int) {
 					fs.data.Insert(pa, buf[i*BlockSize:(i+1)*BlockSize], lock)
 				}
 				fs.clerk.Unlock(lock)
-				fs.mu.Lock()
-				fs.stats.ReadAheadHits++
-				fs.mu.Unlock()
+				fs.m.raHits.Inc()
 			} else {
 				// Lock lost mid-prefetch: the data is discarded.
-				fs.mu.Lock()
-				fs.stats.ReadAheadWasted += int64(len(buf))
-				fs.mu.Unlock()
+				fs.m.raWasted.Add(int64(len(buf)))
 				return
 			}
 			off += run * BlockSize
@@ -459,6 +471,10 @@ func (fs *FS) maybePrefetch(inum int64, in Inode, readPos int64, pages int) {
 // Truncate sets the file's size, freeing (and for the large block,
 // decommitting) storage beyond it.
 func (f *File) Truncate(size int64) error {
+	return f.fs.traced("truncate", func() error { return f.truncate(size) })
+}
+
+func (f *File) truncate(size int64) error {
 	fs := f.fs
 	if err := fs.usable(); err != nil {
 		return err
@@ -531,6 +547,10 @@ func (f *File) Truncate(size int64) error {
 // blocks ("a user can get better consistency semantics by calling
 // fsync at suitable checkpoints", §4).
 func (f *File) Sync() error {
+	return f.fs.traced("fsync", f.fsync)
+}
+
+func (f *File) fsync() error {
 	fs := f.fs
 	if err := fs.usable(); err != nil {
 		return err

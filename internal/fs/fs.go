@@ -9,7 +9,9 @@ import (
 
 	"frangipani/internal/cache"
 	"frangipani/internal/lockservice"
+	"frangipani/internal/obs"
 	"frangipani/internal/petal"
+	"frangipani/internal/rpc"
 	"frangipani/internal/sim"
 	"frangipani/internal/wal"
 )
@@ -58,6 +60,11 @@ type Config struct {
 	CPUPerKB sim.Duration
 	// Lock carries the lock service timing shared with the clerk.
 	Lock lockservice.Config
+	// Carrier selects the message transport for this server's lock
+	// clerk; nil uses the world's simulated network. Daemon
+	// deployments pass the rpc.TCPCarrier shared with the Petal
+	// client.
+	Carrier rpc.Carrier
 	// Trace, when set, receives debug events from the server and its
 	// clerk.
 	Trace func(format string, args ...any)
@@ -102,6 +109,56 @@ type Counters struct {
 	FlushPeakInFlight int64 // max concurrent write-back dispatches seen
 }
 
+// fsMetrics is the registry-backed home of the server's counters
+// (standalone collectors when observability is unwired). The old
+// Counters accessor reads these, so benchmarks keep working.
+type fsMetrics struct {
+	ops, bytesRead, bytesWritten *obs.Counter
+	retries, recoveries          *obs.Counter
+	raHits, raWasted             *obs.Counter
+	flushBatches, flushRuns      *obs.Counter
+	flushPages                   *obs.Counter
+	flushPeak                    *obs.Gauge
+	opLat                        map[string]*obs.Histogram
+}
+
+// fsOps are the traced operations, each with an
+// "fs.<op>.latency#machine" histogram.
+var fsOps = []string{
+	"stat", "readdir", "create", "remove", "rename", "link",
+	"read", "write", "truncate", "fsync", "sync", "lookup",
+}
+
+func newFSMetrics(reg *obs.Registry, machine string) fsMetrics {
+	c := func(name string) *obs.Counter {
+		if reg == nil {
+			return obs.NewCounter()
+		}
+		return reg.Counter("fs." + name + "#" + machine)
+	}
+	m := fsMetrics{
+		ops:          c("ops.count"),
+		bytesRead:    c("read.bytes"),
+		bytesWritten: c("write.bytes"),
+		retries:      c("retry.count"),
+		recoveries:   c("recovery.count"),
+		raHits:       c("readahead.hits"),
+		raWasted:     c("readahead.wasted"),
+		flushBatches: c("flush.batches"),
+		flushRuns:    c("flush.runs"),
+		flushPages:   c("flush.pages"),
+		flushPeak:    obs.NewGauge(),
+	}
+	if reg != nil {
+		m.flushPeak = reg.Gauge("fs.flush.peak#" + machine)
+		m.opLat = make(map[string]*obs.Histogram, len(fsOps))
+		for _, op := range fsOps {
+			m.opLat[op] = reg.Histogram("fs." + op + ".latency#" + machine)
+		}
+	}
+	return m
+}
+
 // FS is one Frangipani file server instance.
 type FS struct {
 	w       *sim.World
@@ -124,7 +181,6 @@ type FS struct {
 	poisoned bool
 	closed   bool
 	logSlot  int
-	stats    Counters
 
 	raMu    sync.Mutex
 	raNext  map[int64]int64 // inum -> expected next sequential offset
@@ -143,6 +199,11 @@ type FS struct {
 	// atimes holds in-memory approximate access times (§2.1), folded
 	// into inodes when they are next logged. Guarded by mu.
 	atimes map[int64]int64
+
+	// Observability; set once in Mount.
+	m   fsMetrics
+	now obs.NowFunc
+	tr  *obs.Tracer
 
 	syncCancel func()
 }
@@ -215,10 +276,21 @@ func Mount(w *sim.World, machine string, pc *petal.Client, vd petal.VDiskID,
 		inflight: make(map[int64]chan struct{}),
 		raPages:  cfg.ReadAhead,
 	}
+	fs.m = newFSMetrics(w.Obs, machine)
+	if w.Obs != nil {
+		fs.now = w.Obs.Now
+		fs.tr = w.Obs.Tracer()
+	}
+	fs.meta.SetObs(w.Obs, machine+".meta")
+	fs.data.SetObs(w.Obs, machine+".data")
 	fs.meta.SetFlusher(func(e *cache.Entry) error { return fs.flushEntry(fs.meta, e) })
 	fs.data.SetFlusher(func(e *cache.Entry) error { return fs.flushEntry(fs.data, e) })
 
-	fs.clerk = lockservice.NewClerk(w, machine, string(vd), lockServers, cfg.Lock)
+	carrier := cfg.Carrier
+	if carrier == nil {
+		carrier = rpc.SimCarrier{Net: w.Net}
+	}
+	fs.clerk = lockservice.NewClerkWithCarrier(w, machine, string(vd), lockServers, cfg.Lock, carrier)
 	fs.clerk.Trace = cfg.Trace
 	fs.clerk.SetCallbacks(fs.onRevoke, fs.onRecover, fs.onLeaseLost)
 	if err := fs.clerk.Open(); err != nil {
@@ -244,6 +316,7 @@ func Mount(w *sim.World, machine string, pc *petal.Client, vd petal.VDiskID,
 		return nil, err
 	}
 	fs.log = wal.New(&logRegion{fs: fs, base: fs.lay.LogSlotBase(fs.logSlot)}, lay.LogSize)
+	fs.log.SetObs(w.Obs, machine)
 	fs.log.SetReclaim(fs.reclaimLog)
 
 	fs.syncCancel = w.Clock.Tick(cfg.SyncEvery, func() { _ = fs.Sync() })
@@ -263,11 +336,51 @@ func (fs *FS) Clerk() *lockservice.Clerk { return fs.clerk }
 // counters (benchmarks compare serial vs scatter-gather write-back).
 func (fs *FS) PetalStats() petal.ClientStats { return fs.pc.Stats() }
 
-// Stats returns a snapshot of the server's counters.
+// Stats returns a snapshot of the server's counters (a compatibility
+// view over the registry-backed metrics; each field is individually
+// race-safe).
 func (fs *FS) Stats() Counters {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	return fs.stats
+	return Counters{
+		Ops:               fs.m.ops.Value(),
+		BytesRead:         fs.m.bytesRead.Value(),
+		BytesWritten:      fs.m.bytesWritten.Value(),
+		Retries:           fs.m.retries.Value(),
+		Recoveries:        fs.m.recoveries.Value(),
+		ReadAheadHits:     fs.m.raHits.Value(),
+		ReadAheadWasted:   fs.m.raWasted.Value(),
+		FlushBatches:      fs.m.flushBatches.Value(),
+		FlushRuns:         fs.m.flushRuns.Value(),
+		FlushPages:        fs.m.flushPages.Value(),
+		FlushPeakInFlight: fs.m.flushPeak.Value(),
+	}
+}
+
+// traced wraps one public operation in a root span (joining the
+// caller's trace if the goroutine is already bound to one) and the
+// operation's latency histogram.
+func (fs *FS) traced(op string, fn func() error) error {
+	sp := fs.tr.Start("fs", op)
+	if sp == nil {
+		return fn()
+	}
+	var err error
+	obs.With(sp, func() { err = fn() })
+	sp.Done()
+	if h := fs.m.opLat[op]; h != nil {
+		h.Record(sp.Duration())
+	}
+	return err
+}
+
+// lat returns a deferred-latency recorder for hot internal paths
+// that want a histogram without span overhead.
+func (fs *FS) lat(op string) func() {
+	if fs.now == nil {
+		return func() {}
+	}
+	h := fs.m.opLat[op]
+	start := fs.now()
+	return func() { h.Record(fs.now() - start) }
 }
 
 // SetReadAhead adjusts the read-ahead window at runtime (Figure 8's
@@ -329,9 +442,7 @@ func (fs *FS) usable() error {
 
 func (fs *FS) chargeOp(bytes int) {
 	fs.cpu.Use(fs.cfg.CPUPerOp + sim.Duration(bytes/1024)*fs.cfg.CPUPerKB)
-	fs.mu.Lock()
-	fs.stats.Ops++
-	fs.mu.Unlock()
+	fs.m.ops.Inc()
 }
 
 // petalWrite guards every write with the lease check of §6: "A
@@ -360,6 +471,9 @@ func (fs *FS) petalWriteV(exts []petal.Extent) error {
 }
 
 func (fs *FS) waitLeaseForWrite() error {
+	if sp := fs.tr.Child("lockservice", "lease-check"); sp != nil {
+		defer sp.Done()
+	}
 	deadline := fs.w.Clock.Now() + sim.Time(2*fs.cfg.Lock.LeaseDuration)
 	for !fs.clerk.LeaseValid(fs.cfg.LeaseMargin) {
 		if fs.clerk.LeaseLost() || fs.w.Clock.Now() >= deadline {
@@ -452,9 +566,7 @@ func (fs *FS) readDataRun(addr int64, count int, owner uint64) (*cache.Entry, er
 		err := fs.pc.Read(fs.vd, addr, buf)
 		var first *cache.Entry
 		if err == nil {
-			fs.mu.Lock()
-			fs.stats.BytesRead += int64(len(buf))
-			fs.mu.Unlock()
+			fs.m.bytesRead.Add(int64(len(buf)))
 			first = fs.data.Insert(addr, buf[:BlockSize], owner)
 			for i := 1; i < n; i++ {
 				// A concurrent writer may have raced a page in; keep
@@ -505,7 +617,7 @@ func (fs *FS) ensureLogFlushed(seq int64) error {
 // flushEntry makes one dirty entry durable, honoring write-ahead
 // order: the log is forced through the entry's sequence first.
 func (fs *FS) flushEntry(pool *cache.Pool, e *cache.Entry) error {
-	if err := fs.ensureLogFlushed(e.Seq); err != nil {
+	if err := fs.ensureLogFlushed(pool.EntrySeq(e)); err != nil {
 		return err
 	}
 	buf := make([]byte, pool.BlockSize())
@@ -513,9 +625,7 @@ func (fs *FS) flushEntry(pool *cache.Pool, e *cache.Entry) error {
 	if err := fs.petalWrite(e.Addr, buf); err != nil {
 		return err
 	}
-	fs.mu.Lock()
-	fs.stats.BytesWritten += int64(len(buf))
-	fs.mu.Unlock()
+	fs.m.bytesWritten.Add(int64(len(buf)))
 	pool.MarkCleanIf(e, gens[0])
 	return nil
 }
@@ -690,6 +800,10 @@ func (t *txn) releaseSegs() {
 // write-back proceed concurrently through the pipelined path; each
 // batch still honors the per-entry log-before-data rule.
 func (fs *FS) Sync() error {
+	return fs.traced("sync", fs.sync)
+}
+
+func (fs *FS) sync() error {
 	fs.mu.Lock()
 	if fs.closed && fs.poisoned {
 		fs.mu.Unlock()
@@ -709,10 +823,17 @@ func (fs *FS) Sync() error {
 
 	var metaErr, dataErr error
 	if fs.cfg.FlushParallelism > 1 {
+		cur := obs.Current()
 		var wg sync.WaitGroup
 		wg.Add(2)
-		go func() { defer wg.Done(); metaErr = fs.flushRuns(fs.meta, fs.meta.AllDirty()) }()
-		go func() { defer wg.Done(); dataErr = fs.flushRuns(fs.data, fs.data.AllDirty()) }()
+		go func() {
+			defer wg.Done()
+			obs.With(cur, func() { metaErr = fs.flushRuns(fs.meta, fs.meta.AllDirty()) })
+		}()
+		go func() {
+			defer wg.Done()
+			obs.With(cur, func() { dataErr = fs.flushRuns(fs.data, fs.data.AllDirty()) })
+		}()
 		wg.Wait()
 	} else {
 		metaErr = fs.flushRuns(fs.meta, fs.meta.AllDirty())
@@ -818,13 +939,7 @@ func (fs *FS) flushRuns(pool *cache.Pool, dirty []*cache.Entry) error {
 	}
 	// Log-before-data: force the log through the newest record
 	// covering any of these blocks before writing them in place.
-	var maxSeq int64
-	for _, e := range dirty {
-		if e.Seq > maxSeq {
-			maxSeq = e.Seq
-		}
-	}
-	if err := fs.ensureLogFlushed(maxSeq); err != nil {
+	if err := fs.ensureLogFlushed(pool.MaxSeq(dirty)); err != nil {
 		return err
 	}
 	runs := coalesceRuns(pool, dirty)
@@ -861,11 +976,9 @@ func (fs *FS) writeRun(pool *cache.Pool, r flushRun) error {
 		return err
 	}
 	pool.MarkCleanIfBatch(r.entries, r.gens)
-	fs.mu.Lock()
-	fs.stats.BytesWritten += int64(len(r.buf))
-	fs.stats.FlushRuns++
-	fs.stats.FlushPages += int64(len(r.entries))
-	fs.mu.Unlock()
+	fs.m.bytesWritten.Add(int64(len(r.buf)))
+	fs.m.flushRuns.Inc()
+	fs.m.flushPages.Add(int64(len(r.entries)))
 	return nil
 }
 
@@ -881,16 +994,12 @@ func (fs *FS) writeRunBatch(pool *cache.Pool, batch []flushRun) error {
 	if err := fs.petalWriteV(exts); err != nil {
 		return err
 	}
-	fs.mu.Lock()
-	fs.stats.BytesWritten += int64(total)
-	fs.stats.FlushBatches++
-	fs.stats.FlushRuns += int64(len(batch))
-	fs.mu.Unlock()
+	fs.m.bytesWritten.Add(int64(total))
+	fs.m.flushBatches.Inc()
+	fs.m.flushRuns.Add(int64(len(batch)))
 	for _, r := range batch {
 		pool.MarkCleanIfBatch(r.entries, r.gens)
-		fs.mu.Lock()
-		fs.stats.FlushPages += int64(len(r.entries))
-		fs.mu.Unlock()
+		fs.m.flushPages.Add(int64(len(r.entries)))
 	}
 	return nil
 }
@@ -917,6 +1026,7 @@ func (fs *FS) flushWorkers(n int, fn func(int) error) error {
 	}
 	sem := make(chan struct{}, par)
 	errCh := make(chan error, n)
+	cur := obs.Current()
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
@@ -924,7 +1034,7 @@ func (fs *FS) flushWorkers(n int, fn func(int) error) error {
 		go func(i int) {
 			defer wg.Done()
 			fs.noteFlushInFlight(1)
-			errCh <- fn(i)
+			obs.With(cur, func() { errCh <- fn(i) })
 			fs.noteFlushInFlight(-1)
 			<-sem
 		}(i)
@@ -943,10 +1053,9 @@ func (fs *FS) flushWorkers(n int, fn func(int) error) error {
 func (fs *FS) noteFlushInFlight(d int64) {
 	fs.mu.Lock()
 	fs.flushInFlight += d
-	if fs.flushInFlight > fs.stats.FlushPeakInFlight {
-		fs.stats.FlushPeakInFlight = fs.flushInFlight
-	}
+	cur := fs.flushInFlight
 	fs.mu.Unlock()
+	fs.m.flushPeak.SetMax(cur)
 }
 
 // reclaimLog is the WAL's space-pressure callback: make records
@@ -960,7 +1069,7 @@ func (fs *FS) reclaimLog(through int64) {
 	fs.mu.Unlock()
 	var old []*cache.Entry
 	for _, e := range fs.meta.AllDirty() {
-		if e.Seq <= through {
+		if fs.meta.EntrySeq(e) <= through {
 			old = append(old, e)
 		}
 	}
@@ -1060,9 +1169,7 @@ func (fs *FS) onRecover(dead string, deadSlot int) error {
 	if _, err := wal.Replay(recs, &directDev{fs: fs}); err != nil {
 		return err
 	}
-	fs.mu.Lock()
-	fs.stats.Recoveries++
-	fs.mu.Unlock()
+	fs.m.recoveries.Inc()
 	return nil
 }
 

@@ -84,9 +84,7 @@ func (fs *FS) retrying(fn func() error) error {
 		if !errors.Is(err, ErrRetry) {
 			return err
 		}
-		fs.mu.Lock()
-		fs.stats.Retries++
-		fs.mu.Unlock()
+		fs.m.retries.Inc()
 	}
 	return ErrRetry
 }
@@ -150,6 +148,7 @@ func splitPath(path string) ([]string, error) {
 // lookupOnce finds name in directory inum with a shared lock held
 // only for the lookup (phase-one style).
 func (fs *FS) lookupOnce(dir int64, name string) (DirEntry, error) {
+	defer fs.lat("lookup")()
 	var out DirEntry
 	err := fs.withLocks([]lockReq{{InodeLock(dir), lockservice.Shared}}, false, func(t *txn) error {
 		_, in, err := fs.loadInode(dir)
@@ -393,7 +392,7 @@ func (fs *FS) Stat(path string) (Info, error) {
 	}
 	fs.chargeOp(0)
 	var info Info
-	err := fs.retrying(func() error {
+	do := func() error {
 		inum, err := fs.namei(path, true)
 		if err != nil {
 			return err
@@ -412,7 +411,8 @@ func (fs *FS) Stat(path string) (Info, error) {
 			}
 			return nil
 		})
-	})
+	}
+	err := fs.traced("stat", func() error { return fs.retrying(do) })
 	return info, err
 }
 
@@ -423,7 +423,7 @@ func (fs *FS) ReadDir(path string) ([]DirEntry, error) {
 	}
 	fs.chargeOp(0)
 	var out []DirEntry
-	err := fs.retrying(func() error {
+	do := func() error {
 		inum, err := fs.namei(path, true)
 		if err != nil {
 			return err
@@ -439,7 +439,8 @@ func (fs *FS) ReadDir(path string) ([]DirEntry, error) {
 			out, err = fs.dirEntries(inum, in)
 			return err
 		})
-	})
+	}
+	err := fs.traced("readdir", func() error { return fs.retrying(do) })
 	return out, err
 }
 
@@ -450,7 +451,7 @@ func (fs *FS) create(path string, ftype FileType, symTarget string) (int64, erro
 	}
 	fs.chargeOp(0)
 	var newInum int64 = -1
-	err := fs.retrying(func() error {
+	do := func() error {
 		dir, name, err := fs.nameiParent(path)
 		if err != nil {
 			return err
@@ -506,7 +507,8 @@ func (fs *FS) create(path string, ftype FileType, symTarget string) (int64, erro
 			newInum = inum
 			return nil
 		})
-	})
+	}
+	err := fs.traced("create", func() error { return fs.retrying(do) })
 	return newInum, err
 }
 
@@ -557,7 +559,7 @@ func (fs *FS) remove(path string, wantDir bool) error {
 		return err
 	}
 	fs.chargeOp(0)
-	return fs.retrying(func() error {
+	do := func() error {
 		dir, name, err := fs.nameiParent(path)
 		if err != nil {
 			return err
@@ -628,7 +630,8 @@ func (fs *FS) remove(path string, wantDir bool) error {
 			}
 			return fs.destroyInode(t, ent.Inum, tgtE, tin)
 		})
-	})
+	}
+	return fs.traced("remove", func() error { return fs.retrying(do) })
 }
 
 // destroyInode frees an inode and all its blocks (lock held
@@ -674,7 +677,7 @@ func (fs *FS) Rename(src, dst string) error {
 	if strings.HasPrefix(strings.Trim(dst, "/")+"/", strings.Trim(src, "/")+"/") {
 		return ErrInval
 	}
-	return fs.retrying(func() error {
+	do := func() error {
 		sdir, sname, err := fs.nameiParent(src)
 		if err != nil {
 			return err
@@ -783,7 +786,8 @@ func (fs *FS) Rename(src, dst string) error {
 			}
 			return nil
 		})
-	})
+	}
+	return fs.traced("rename", func() error { return fs.retrying(do) })
 }
 
 // Link creates a hard link to an existing file (not directories).
@@ -792,7 +796,7 @@ func (fs *FS) Link(existing, newpath string) error {
 		return err
 	}
 	fs.chargeOp(0)
-	return fs.retrying(func() error {
+	do := func() error {
 		inum, err := fs.namei(existing, true)
 		if err != nil {
 			return err
@@ -839,5 +843,6 @@ func (fs *FS) Link(existing, newpath string) error {
 			t.putInode(tE, tin)
 			return nil
 		})
-	})
+	}
+	return fs.traced("link", func() error { return fs.retrying(do) })
 }

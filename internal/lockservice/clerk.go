@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"frangipani/internal/obs"
 	"frangipani/internal/rpc"
 	"frangipani/internal/sim"
 )
@@ -68,6 +69,13 @@ type Clerk struct {
 
 	// Trace, when set, receives debug events.
 	Trace func(format string, args ...any)
+
+	// Observability; set once at construction.
+	now    obs.NowFunc
+	tr     *obs.Tracer
+	acqLat *obs.Histogram
+	revLat *obs.Histogram
+	relLat *obs.Histogram
 }
 
 func (c *Clerk) trace(format string, args ...any) {
@@ -95,6 +103,13 @@ func NewClerkWithCarrier(w *sim.World, machine, table string, servers []string, 
 		groupVer: make(map[int]int64),
 	}
 	c.cond = sync.NewCond(&c.mu)
+	if reg := w.Obs; reg != nil {
+		c.now = reg.Now
+		c.tr = reg.Tracer()
+		c.acqLat = reg.Histogram("lockservice.acquire.latency#" + machine)
+		c.revLat = reg.Histogram("lockservice.revoke.latency#" + machine)
+		c.relLat = reg.Histogram("lockservice.release.latency#" + machine)
+	}
 	c.ep = rpc.NewEndpoint(ClerkAddr(machine), carrier, w.Clock, c.handle)
 	return c
 }
@@ -281,6 +296,22 @@ func (c *Clerk) serverFor(lock uint64) string {
 // Lock acquires the lock in the given mode, blocking until granted.
 // It returns ErrLeaseLost if the clerk's lease expires meanwhile.
 func (c *Clerk) Lock(lock uint64, mode Mode) error {
+	if c.now == nil {
+		return c.lockWait(lock, mode)
+	}
+	start := c.now()
+	var err error
+	if sp := c.tr.Child("lockservice", "acquire"); sp != nil {
+		obs.With(sp, func() { err = c.lockWait(lock, mode) })
+		sp.Done()
+	} else {
+		err = c.lockWait(lock, mode)
+	}
+	c.acqLat.Record(c.now() - start)
+	return err
+}
+
+func (c *Clerk) lockWait(lock uint64, mode Mode) error {
 	c.mu.Lock()
 	for {
 		if c.closed {
@@ -334,6 +365,10 @@ func (c *Clerk) TryLock(lock uint64, mode Mode) bool {
 // Unlock releases the caller's use. The grant itself remains cached
 // (sticky) until revoked.
 func (c *Clerk) Unlock(lock uint64) {
+	if c.now != nil {
+		start := c.now()
+		defer func() { c.relLat.Record(c.now() - start) }()
+	}
 	c.mu.Lock()
 	l := c.locks[lock]
 	if l == nil || l.users == 0 {
@@ -454,6 +489,11 @@ func (c *Clerk) retryRequests() {
 // pending revoke.
 func (c *Clerk) processRevoke(lock uint64) {
 	c.trace("processRevoke lock=%x", lock)
+	var start int64
+	if c.now != nil {
+		start = c.now()
+		defer func() { c.revLat.Record(c.now() - start) }()
+	}
 	c.mu.Lock()
 	l := c.locks[lock]
 	if l == nil {
@@ -465,7 +505,16 @@ func (c *Clerk) processRevoke(lock uint64) {
 	c.mu.Unlock()
 
 	if cb != nil {
-		cb(lock, target)
+		// Revokes run on their own goroutine, so this roots a fresh
+		// trace: the flush it triggers (wal + petal spans) is
+		// followable like any foreground op.
+		sp := c.tr.Start("lockservice", "revoke")
+		if sp == nil {
+			cb(lock, target)
+		} else {
+			obs.With(sp, func() { cb(lock, target) })
+			sp.Done()
+		}
 	}
 
 	c.mu.Lock()

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"frangipani/internal/obs"
 	"frangipani/internal/paxos"
 	"frangipani/internal/rpc"
 	"frangipani/internal/sim"
@@ -97,6 +98,9 @@ type Server struct {
 	closed     bool
 	cancels    []func()
 
+	reqC             *obs.Counter
+	locksG, memBytes *obs.Gauge
+
 	// Trace, when set, receives debug events.
 	Trace func(format string, args ...any)
 }
@@ -132,6 +136,11 @@ func NewServerWithCarrier(w *sim.World, name string, peers []string, cfg Config,
 		pendingGrp: make(map[int]*groupSync),
 		renewals:   make(map[string]sim.Time),
 		recoveries: make(map[string]*recoveryJob),
+	}
+	if reg := w.Obs; reg != nil {
+		s.reqC = reg.Counter("lockservice.server.requests#" + name)
+		s.locksG = reg.Gauge("lockservice.server.locks#" + name)
+		s.memBytes = reg.Gauge("lockservice.server.bytes#" + name)
 	}
 	s.px = paxos.NewNode(name, peers, carrier, w.Clock, s.applyCmd)
 	s.det = paxos.NewDetector(name, peers, carrier, w.Clock,
@@ -333,6 +342,7 @@ func (s *Server) handle(from string, body any) any {
 	if s.isDown() {
 		return nil
 	}
+	s.reqC.Inc()
 	switch m := body.(type) {
 	case ReqMsg:
 		s.onRequest(m)
@@ -868,11 +878,15 @@ func (s *Server) finishSync(seq uint64) {
 // server's current state.
 func (s *Server) Stats() (locks int, bytes int64) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, ls := range s.locks {
 		locks++
 		bytes += ServerBytesPerLock
 		bytes += int64((len(ls.holders) + len(ls.waiters))) * ServerBytesPerClerk
 	}
+	s.mu.Unlock()
+	// Mirror the computed values into the registry so snapshots see
+	// them without calling Stats.
+	s.locksG.Set(int64(locks))
+	s.memBytes.Set(bytes)
 	return locks, bytes
 }

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is a race-safe log-bucketed latency histogram in the
+// style of HDR histograms: values below 8 land in exact unit-wide
+// buckets; above that each power-of-two range is split into 8
+// sub-buckets, bounding the relative quantile-estimation error at
+// 1/16 (6.25%) when a bucket's midpoint is reported. Values are
+// nanoseconds by convention but the math is unit-agnostic.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+const (
+	subBits    = 3
+	subBuckets = 1 << subBits // 8 sub-buckets per power of two
+	// 8 exact buckets + 8 sub-buckets for each exponent 3..62; the
+	// highest int64 value lands in index 487, so 512 is roomy.
+	numBuckets = 512
+)
+
+// NewHistogram returns a standalone histogram (see NewCounter).
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketFor maps a non-negative value to its bucket index.
+func bucketFor(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < subBuckets {
+		return int(u)
+	}
+	exp := bits.Len64(u) - 1 // largest e with 2^e <= u
+	sub := (u >> (uint(exp) - subBits)) - subBuckets
+	return (exp-subBits)*subBuckets + int(sub) + subBuckets
+}
+
+// BucketBounds returns the half-open value range [lo, hi) covered by
+// bucket index i.
+func BucketBounds(i int) (lo, hi int64) {
+	if i < subBuckets {
+		return int64(i), int64(i) + 1
+	}
+	exp := (i-subBuckets)/subBuckets + subBits
+	sub := (i - subBuckets) % subBuckets
+	width := int64(1) << (uint(exp) - subBits)
+	lo = (subBuckets + int64(sub)) * width
+	return lo, lo + width
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketFor(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all recorded values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max returns the largest recorded value.
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) as the midpoint
+// of the bucket holding that rank, clamped to the observed maximum.
+// Returns 0 when nothing has been recorded.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			lo, hi := BucketBounds(i)
+			mid := lo + (hi-lo)/2
+			if mx := h.max.Load(); mid > mx {
+				mid = mx
+			}
+			return mid
+		}
+	}
+	return h.max.Load()
+}

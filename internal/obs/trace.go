@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed region of a trace. A root span has ID ==
+// TraceID; children share the root's TraceID and point at their
+// parent's ID. Spans created by Remote carry context received over
+// the wire and are never recorded themselves — they only parent the
+// receiver's own spans.
+type Span struct {
+	TraceID uint64
+	ID      uint64
+	Parent  uint64
+	Layer   string
+	Op      string
+	Start   int64 // ns on the tracer's clock
+	End     int64 // ns; 0 until Done
+
+	tr *Tracer
+}
+
+// Duration is End-Start; valid after Done.
+func (sp *Span) Duration() int64 {
+	if sp == nil {
+		return 0
+	}
+	return sp.End - sp.Start
+}
+
+// Done stamps the end time and records the span into the tracer's
+// ring. If the span is a trace root and the whole trace took at
+// least the slow-op threshold, a rendered dump of the tree is kept.
+func (sp *Span) Done() {
+	if sp == nil || sp.tr == nil {
+		return
+	}
+	t := sp.tr
+	sp.End = t.now()
+	t.mu.Lock()
+	t.ring[t.pos] = *sp
+	t.pos = (t.pos + 1) % len(t.ring)
+	if t.size < len(t.ring) {
+		t.size++
+	}
+	if sp.ID == sp.TraceID {
+		t.lastRoot = sp.TraceID
+		if thr := t.slow.Load(); thr > 0 && sp.Duration() >= thr {
+			dump := t.renderLocked(sp.TraceID)
+			t.dumps = append(t.dumps, dump)
+			if len(t.dumps) > maxSlowDumps {
+				t.dumps = t.dumps[len(t.dumps)-maxSlowDumps:]
+			}
+		}
+	}
+	t.mu.Unlock()
+}
+
+const (
+	ringSpans    = 8192
+	maxSlowDumps = 16
+)
+
+// Tracer allocates span IDs and collects completed spans in a ring
+// buffer for rendering.
+type Tracer struct {
+	now  NowFunc
+	ids  atomic.Uint64
+	slow atomic.Int64 // ns threshold for slow-op dumps; 0 = off
+
+	mu       sync.Mutex
+	ring     []Span
+	pos      int
+	size     int
+	lastRoot uint64
+	dumps    []string
+}
+
+func newTracer(now NowFunc) *Tracer {
+	return &Tracer{now: now, ring: make([]Span, ringSpans)}
+}
+
+// SetSlowThreshold enables slow-op dumps for root spans lasting at
+// least d (0 disables).
+func (t *Tracer) SetSlowThreshold(d time.Duration) {
+	if t != nil {
+		t.slow.Store(int64(d))
+	}
+}
+
+// Start begins a new span. If the calling goroutine has a bound span
+// (see With), the new span joins that trace as a child; otherwise it
+// roots a fresh trace.
+func (t *Tracer) Start(layer, op string) *Span {
+	if t == nil {
+		return nil
+	}
+	id := t.ids.Add(1)
+	sp := &Span{ID: id, Layer: layer, Op: op, Start: t.now(), tr: t}
+	if p := Current(); p != nil {
+		sp.TraceID = p.TraceID
+		sp.Parent = p.ID
+	} else {
+		sp.TraceID = id
+	}
+	return sp
+}
+
+// Child is like Start but returns nil when the calling goroutine has
+// no bound span: sub-layer operations (wal flushes, petal RPCs,
+// lease checks) only produce spans inside a traced operation, so
+// background write-behind traffic does not flood the ring with
+// single-span root traces.
+func (t *Tracer) Child(layer, op string) *Span {
+	if t == nil || Current() == nil {
+		return nil
+	}
+	return t.Start(layer, op)
+}
+
+// Remote reconstructs a parent span stub from trace context received
+// over the wire. The stub is never recorded; bind it with With so
+// spans started on the receiving side join the sender's trace.
+func Remote(traceID, spanID uint64) *Span {
+	if traceID == 0 {
+		return nil
+	}
+	return &Span{TraceID: traceID, ID: spanID}
+}
+
+// LastRoot returns the trace ID of the most recently completed root
+// span, or 0.
+func (t *Tracer) LastRoot() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastRoot
+}
+
+// SpansFor returns copies of all ring-resident spans of one trace.
+func (t *Tracer) SpansFor(traceID uint64) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Span
+	for i := 0; i < t.size; i++ {
+		if t.ring[i].TraceID == traceID {
+			out = append(out, t.ring[i])
+		}
+	}
+	return out
+}
+
+// SlowDumps returns the retained slow-op trace dumps, oldest first.
+func (t *Tracer) SlowDumps() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.dumps...)
+}
+
+// RenderTrace renders one trace's span tree as indented text:
+//
+//	trace 42 (total 12.3ms)
+//	  fs.sync             +0.000ms  12.300ms
+//	    wal.flush         +0.100ms   2.000ms
+//
+// Columns are offset from the trace root's start and span duration.
+func (t *Tracer) RenderTrace(traceID uint64) string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.renderLocked(traceID)
+}
+
+func (t *Tracer) renderLocked(traceID uint64) string {
+	var spans []Span
+	for i := 0; i < t.size; i++ {
+		if t.ring[i].TraceID == traceID {
+			spans = append(spans, t.ring[i])
+		}
+	}
+	if len(spans) == 0 {
+		return fmt.Sprintf("trace %d: no spans\n", traceID)
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	present := make(map[uint64]bool, len(spans))
+	for _, sp := range spans {
+		present[sp.ID] = true
+	}
+	children := make(map[uint64][]Span)
+	var roots []Span
+	base := spans[0].Start
+	var total int64
+	for _, sp := range spans {
+		if sp.Start < base {
+			base = sp.Start
+		}
+		if sp.End-base > total {
+			total = sp.End - base
+		}
+		// A span whose parent is missing from the ring (evicted, or
+		// a wire-level stub) renders as a top-level subtree.
+		if sp.Parent != 0 && present[sp.Parent] {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %d (total %.3fms, %d spans)\n",
+		traceID, float64(total)/1e6, len(spans))
+	var walk func(sp Span, depth int)
+	walk = func(sp Span, depth int) {
+		name := sp.Layer + "." + sp.Op
+		fmt.Fprintf(&b, "  %s%-*s +%.3fms  %.3fms\n",
+			strings.Repeat("  ", depth), 28-2*depth, name,
+			float64(sp.Start-base)/1e6, float64(sp.Duration())/1e6)
+		for _, ch := range children[sp.ID] {
+			walk(ch, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return b.String()
+}
+
+// ---- goroutine-local span binding -------------------------------
+
+// Span context follows the goroutine: With binds a span for the
+// duration of fn, Current reads the binding. The map is sharded by
+// goroutine ID, and a global bound-count lets Current bail with a
+// single atomic load when no spans are bound anywhere — so constant
+// background traffic (heartbeats, lease renewals) pays nearly
+// nothing when nothing is being traced.
+type glShard struct {
+	mu sync.Mutex
+	m  map[uint64]*Span
+}
+
+const glShards = 64
+
+var (
+	glTab   [glShards]glShard
+	glBound atomic.Int64
+)
+
+func init() {
+	for i := range glTab {
+		glTab[i].m = make(map[uint64]*Span)
+	}
+}
+
+// goid parses the current goroutine's ID from its stack header
+// ("goroutine N [...]"). Go offers no public accessor; this is the
+// standard portable fallback and costs ~1µs.
+func goid() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	// skip "goroutine "
+	var id uint64
+	for _, c := range buf[10:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// Current returns the span bound to this goroutine, or nil.
+func Current() *Span {
+	if glBound.Load() == 0 {
+		return nil
+	}
+	g := goid()
+	s := &glTab[g%glShards]
+	s.mu.Lock()
+	sp := s.m[g]
+	s.mu.Unlock()
+	return sp
+}
+
+// With binds sp to the calling goroutine while fn runs, restoring
+// any previous binding afterwards. A nil sp just runs fn.
+func With(sp *Span, fn func()) {
+	if sp == nil {
+		fn()
+		return
+	}
+	g := goid()
+	s := &glTab[g%glShards]
+	s.mu.Lock()
+	prev, had := s.m[g]
+	s.m[g] = sp
+	s.mu.Unlock()
+	glBound.Add(1)
+	defer func() {
+		s.mu.Lock()
+		if had {
+			s.m[g] = prev
+		} else {
+			delete(s.m, g)
+		}
+		s.mu.Unlock()
+		glBound.Add(-1)
+	}()
+	fn()
+}

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"frangipani/internal/obs"
 	"frangipani/internal/rpc"
 	"frangipani/internal/sim"
 )
@@ -38,9 +38,14 @@ type Client struct {
 
 	// Write-path statistics (benchmarks compare the scatter-gather
 	// pipeline against per-run writes by RPC count).
-	writeRPCs     atomic.Int64 // WriteReq calls issued
-	writeVRPCs    atomic.Int64 // WriteVReq calls issued
-	writeVExtents atomic.Int64 // extents carried by WriteVReq calls
+	writeRPCs     *obs.Counter // WriteReq calls issued
+	writeVRPCs    *obs.Counter // WriteVReq calls issued
+	writeVExtents *obs.Counter // extents carried by WriteVReq calls
+
+	// Observability; set once at construction.
+	now    obs.NowFunc
+	tr     *obs.Tracer
+	opLats map[string]*obs.Histogram // read/write/writev latency
 }
 
 // ClientStats counts write-path RPC traffic.
@@ -57,9 +62,9 @@ type ClientStats struct {
 // Stats snapshots the client's write-path counters.
 func (c *Client) Stats() ClientStats {
 	return ClientStats{
-		WriteRPCs:     c.writeRPCs.Load(),
-		WriteVRPCs:    c.writeVRPCs.Load(),
-		WriteVExtents: c.writeVExtents.Load(),
+		WriteRPCs:     c.writeRPCs.Value(),
+		WriteVRPCs:    c.writeVRPCs.Value(),
+		WriteVExtents: c.writeVExtents.Value(),
 	}
 }
 
@@ -69,15 +74,56 @@ func ClientAddr(machine string) string { return machine + ".petalc" }
 // NewClient creates a Petal driver on the named machine. servers is
 // the Petal server list.
 func NewClient(w *sim.World, machine string, servers []string) *Client {
+	return NewClientWithCarrier(w, machine, servers, rpc.SimCarrier{Net: w.Net})
+}
+
+// NewClientWithCarrier creates a Petal driver on an explicit message
+// carrier (TCP for daemon deployments, sim for tests).
+func NewClientWithCarrier(w *sim.World, machine string, servers []string, carrier rpc.Carrier) *Client {
 	c := &Client{
-		name:        machine,
-		clock:       w.Clock,
-		servers:     append([]string(nil), servers...),
-		opDeadline:  30 * time.Second,
-		parallelism: 8,
+		name:          machine,
+		clock:         w.Clock,
+		servers:       append([]string(nil), servers...),
+		opDeadline:    30 * time.Second,
+		parallelism:   8,
+		writeRPCs:     obs.NewCounter(),
+		writeVRPCs:    obs.NewCounter(),
+		writeVExtents: obs.NewCounter(),
 	}
-	c.ep = rpc.NewEndpoint(ClientAddr(machine), rpc.SimCarrier{Net: w.Net}, w.Clock, nil)
+	if reg := w.Obs; reg != nil {
+		c.writeRPCs = reg.Counter("petal.write.rpcs#" + machine)
+		c.writeVRPCs = reg.Counter("petal.writev.rpcs#" + machine)
+		c.writeVExtents = reg.Counter("petal.writev.extents#" + machine)
+		c.now = reg.Now
+		c.tr = reg.Tracer()
+		c.opLats = map[string]*obs.Histogram{
+			"read":   reg.Histogram("petal.read.latency#" + machine),
+			"write":  reg.Histogram("petal.write.latency#" + machine),
+			"writev": reg.Histogram("petal.writev.latency#" + machine),
+		}
+	}
+	c.ep = rpc.NewEndpoint(ClientAddr(machine), carrier, w.Clock, nil)
 	return c
+}
+
+// instr wraps one client operation in a latency histogram and — when
+// the caller is inside a traced operation — a child span, so the
+// operation appears in cross-layer trace trees and the rpc layer
+// propagates its context to the Petal servers.
+func (c *Client) instr(op string, fn func() error) error {
+	if c.now == nil {
+		return fn()
+	}
+	start := c.now()
+	var err error
+	if sp := c.tr.Child("petal", op); sp != nil {
+		obs.With(sp, func() { err = fn() })
+		sp.Done()
+	} else {
+		err = fn()
+	}
+	c.opLats[op].Record(c.now() - start)
+	return err
 }
 
 // SetLeaseInfo installs the callback used to stamp writes with lease
@@ -330,13 +376,16 @@ func boundedPar[T any](limit int, items []T, f func(T) error) error {
 	}
 	sem := make(chan struct{}, limit)
 	errCh := make(chan error, len(items))
+	// Span bindings are per-goroutine: carry the caller's trace
+	// context into the workers so fanned-out RPCs stay in the tree.
+	cur := obs.Current()
 	var wg sync.WaitGroup
 	for _, it := range items {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(it T) {
 			defer wg.Done()
-			errCh <- f(it)
+			obs.With(cur, func() { errCh <- f(it) })
 			<-sem
 		}(it)
 	}
@@ -362,8 +411,10 @@ func (c *Client) Read(v VDiskID, off int64, p []byte) error {
 	if off < 0 {
 		return ErrBounds
 	}
-	return c.forEachSpan(spans(off, len(p)), func(s span) error {
-		return c.readChunk(v, s.chunk, s.off, s.length, p[s.bufOff:s.bufOff+s.length])
+	return c.instr("read", func() error {
+		return c.forEachSpan(spans(off, len(p)), func(s span) error {
+			return c.readChunk(v, s.chunk, s.off, s.length, p[s.bufOff:s.bufOff+s.length])
+		})
 	})
 }
 
@@ -372,8 +423,10 @@ func (c *Client) Write(v VDiskID, off int64, p []byte) error {
 	if off < 0 {
 		return ErrBounds
 	}
-	return c.forEachSpan(spans(off, len(p)), func(s span) error {
-		return c.writeChunk(v, s.chunk, s.off, p[s.bufOff:s.bufOff+s.length])
+	return c.instr("write", func() error {
+		return c.forEachSpan(spans(off, len(p)), func(s span) error {
+			return c.writeChunk(v, s.chunk, s.off, p[s.bufOff:s.bufOff+s.length])
+		})
 	})
 }
 
@@ -409,6 +462,10 @@ const (
 // through Write. The caller must not mutate extent data until WriteV
 // returns.
 func (c *Client) WriteV(v VDiskID, extents []Extent) error {
+	return c.instr("writev", func() error { return c.writeV(v, extents) })
+}
+
+func (c *Client) writeV(v VDiskID, extents []Extent) error {
 	var all []wspan
 	for _, e := range extents {
 		if e.Off < 0 {

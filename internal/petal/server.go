@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"frangipani/internal/obs"
 	"frangipani/internal/paxos"
 	"frangipani/internal/rpc"
 	"frangipani/internal/sim"
@@ -69,6 +70,9 @@ type Server struct {
 	rejoinMu sync.Mutex // serializes rejoin passes
 	aeCancel func()
 	nvs      []*sim.NVRAM
+
+	tr   *obs.Tracer
+	reqC *obs.Counter
 }
 
 const dataTimeout = 5 * time.Second
@@ -80,6 +84,12 @@ func DataAddr(name string) string { return name + ".petal" }
 // peers must list all Petal server names including this one; the set
 // is fixed for the life of the cluster, as in our Paxos layer.
 func NewServer(w *sim.World, name string, peers []string, cfg ServerConfig) *Server {
+	return NewServerWithCarrier(w, name, peers, cfg, rpc.SimCarrier{Net: w.Net})
+}
+
+// NewServerWithCarrier creates a Petal server on an explicit message
+// carrier (TCP for daemon deployments, sim for tests).
+func NewServerWithCarrier(w *sim.World, name string, peers []string, cfg ServerConfig, carrier rpc.Carrier) *Server {
 	s := &Server{
 		name:   name,
 		w:      w,
@@ -101,8 +111,11 @@ func NewServer(w *sim.World, name string, peers []string, cfg ServerConfig) *Ser
 	}
 	s.nvs = nvs
 	s.st = newStore(disks, nvs)
+	s.tr = w.Obs.Tracer()
+	if reg := w.Obs; reg != nil {
+		s.reqC = reg.Counter("petal.server.requests#" + name)
+	}
 
-	carrier := rpc.SimCarrier{Net: w.Net}
 	s.px = paxos.NewNode(name, peers, carrier, w.Clock, s.applyCmd)
 	s.det = paxos.NewDetector(name, peers, carrier, w.Clock,
 		cfg.HeartbeatEvery, cfg.SuspectAfter, s.onLiveness)
@@ -183,13 +196,14 @@ func (s *Server) handle(from string, body any) any {
 	if s.isDown() {
 		return nil
 	}
+	s.reqC.Inc()
 	switch m := body.(type) {
 	case ReadReq:
-		return s.onRead(m)
+		return s.spanned("server.read", func() any { return s.onRead(m) })
 	case WriteReq:
-		return s.onWrite(m, from)
+		return s.spanned("server.write", func() any { return s.onWrite(m, from) })
 	case WriteVReq:
-		return s.onWriteV(m)
+		return s.spanned("server.writev", func() any { return s.onWriteV(m) })
 	case DecommitReq:
 		return s.onDecommit(m)
 	case AdminReq:
@@ -234,6 +248,20 @@ func (s *Server) handle(from string, body any) any {
 		return UsageResp{Bytes: s.st.committedBytes()}
 	}
 	return nil
+}
+
+// spanned runs a data-path handler under a server-side child span
+// when the request arrived with trace context (which the rpc layer
+// binds to the handler goroutine).
+func (s *Server) spanned(op string, fn func() any) any {
+	sp := s.tr.Child("petal", op)
+	if sp == nil {
+		return fn()
+	}
+	var out any
+	obs.With(sp, func() { out = fn() })
+	sp.Done()
+	return out
 }
 
 // antiEntropy pushes missed chunks to partners that are reachable

@@ -1,0 +1,26 @@
+package petal
+
+import "frangipani/internal/rpc"
+
+// Register every Petal wire type (and the Paxos command payloads the
+// directory protocol submits) with the TCP carrier's codec, so the
+// full Petal stack can run over real sockets as well as the
+// simulated network.
+func init() {
+	for _, v := range []any{
+		ReadReq{}, ReadResp{},
+		WriteReq{}, WriteResp{},
+		WriteVExtent{}, WriteVReq{}, WriteVResp{},
+		DecommitReq{},
+		AdminReq{}, AdminResp{},
+		StateReq{}, StateResp{},
+		MissedListReq{}, MissedListResp{},
+		ChunkFetchReq{}, ChunkFetchResp{},
+		MissedAckReq{}, PushChunkReq{},
+		ListChunksReq{}, ListChunksResp{},
+		UsageReq{}, UsageResp{},
+		CmdCreateVDisk{}, CmdDeleteVDisk{}, CmdSnapshot{}, CmdSetAlive{},
+	} {
+		rpc.RegisterType(v)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"frangipani/internal/obs"
 	"frangipani/internal/sim"
 )
 
@@ -31,10 +32,15 @@ var (
 	ErrClosed  = errors.New("rpc: endpoint closed")
 )
 
-// envelope frames every message on the wire.
+// envelope frames every message on the wire. Trace and Span carry
+// the sender's active trace context (obs), so one operation can be
+// followed across layers and machines; both are 0 when the sender
+// was not inside a traced operation.
 type envelope struct {
 	ID      uint64 // correlation id; 0 for casts
 	IsReply bool
+	Trace   uint64
+	Span    uint64
 	Body    any
 }
 
@@ -133,11 +139,20 @@ func (e *Endpoint) receive(from string, body any, size int) {
 		// per-pair FIFO network ordering extends to handler execution;
 		// the lock protocol depends on a release sent before a request
 		// being processed before it.
-		h(from, env.Body)
+		if env.Trace != 0 {
+			obs.With(obs.Remote(env.Trace, env.Span), func() { h(from, env.Body) })
+		} else {
+			h(from, env.Body)
+		}
 		return
 	}
 	go func() {
-		reply := h(from, env.Body)
+		var reply any
+		if env.Trace != 0 {
+			obs.With(obs.Remote(env.Trace, env.Span), func() { reply = h(from, env.Body) })
+		} else {
+			reply = h(from, env.Body)
+		}
 		if reply != nil {
 			_ = e.carrier.Send(e.addr, from, envelope{ID: env.ID, IsReply: true, Body: reply}, sizeOf(reply))
 		}
@@ -154,7 +169,11 @@ func (e *Endpoint) Cast(to string, body any) error {
 	if closed {
 		return ErrClosed
 	}
-	return e.carrier.Send(e.addr, to, envelope{Body: body}, sizeOf(body))
+	env := envelope{Body: body}
+	if sp := obs.Current(); sp != nil {
+		env.Trace, env.Span = sp.TraceID, sp.ID
+	}
+	return e.carrier.Send(e.addr, to, env, sizeOf(body))
 }
 
 // Call sends a request and waits up to timeout (simulated time) for
@@ -171,7 +190,11 @@ func (e *Endpoint) Call(to string, req any, timeout time.Duration) (any, error) 
 	e.pending[id] = ch
 	e.mu.Unlock()
 
-	err := e.carrier.Send(e.addr, to, envelope{ID: id, Body: req}, sizeOf(req))
+	env := envelope{ID: id, Body: req}
+	if sp := obs.Current(); sp != nil {
+		env.Trace, env.Span = sp.TraceID, sp.ID
+	}
+	err := e.carrier.Send(e.addr, to, env, sizeOf(req))
 	if err != nil {
 		e.mu.Lock()
 		delete(e.pending, id)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+
+	"frangipani/internal/obs"
 )
 
 // World bundles the shared simulation state — clock, network, seeded
@@ -12,6 +14,12 @@ import (
 type World struct {
 	Clock *Clock
 	Net   *Network
+	// Obs is the cluster-wide metrics registry and tracer, timed on
+	// the simulated clock. Setting it to nil before constructing the
+	// stack disables span tracing and latency histograms (counters
+	// fall back to standalone collectors) — used by the overhead
+	// ablation benchmark.
+	Obs *obs.Registry
 
 	mu   sync.Mutex
 	rng  *rand.Rand
@@ -25,6 +33,7 @@ func NewWorld(compression float64, seed int64) *World {
 	return &World{
 		Clock: clock,
 		Net:   NewNetwork(clock),
+		Obs:   obs.NewRegistry(func() int64 { return int64(clock.Now()) }),
 		rng:   rand.New(rand.NewSource(seed)),
 		cpus:  make(map[string]*CPU),
 	}

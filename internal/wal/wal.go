@@ -22,6 +22,8 @@ import (
 	"hash/crc32"
 	"sort"
 	"sync"
+
+	"frangipani/internal/obs"
 )
 
 // Geometry constants.
@@ -102,11 +104,19 @@ type Log struct {
 	flushDone chan struct{} // closed when the in-flight write completes
 	durable   int64         // stream position known durable in the region
 
-	appends        int64
-	flushes        int64
-	wrote          int64
-	groupMerges    int64
-	maxFlushBlocks int64
+	appends        *obs.Counter
+	flushes        *obs.Counter
+	wrote          *obs.Counter
+	groupMerges    *obs.Counter
+	maxFlushBlocks *obs.Gauge
+
+	// Observability; set once by SetObs before concurrent use, or
+	// left nil/standalone for unwired logs.
+	now       obs.NowFunc
+	tr        *obs.Tracer
+	appendLat *obs.Histogram
+	flushLat  *obs.Histogram
+	groupLat  *obs.Histogram
 }
 
 type recSpan struct {
@@ -118,10 +128,37 @@ type recSpan struct {
 // region is not zeroed; sequence numbers distinguish old blocks.
 func New(region BlockRegion, size int64) *Log {
 	return &Log{
-		region: region,
-		size:   size,
-		blocks: size / BlockSize,
+		region:         region,
+		size:           size,
+		blocks:         size / BlockSize,
+		appends:        obs.NewCounter(),
+		flushes:        obs.NewCounter(),
+		wrote:          obs.NewCounter(),
+		groupMerges:    obs.NewCounter(),
+		maxFlushBlocks: obs.NewGauge(),
 	}
+}
+
+// SetObs attaches the log's metrics to a registry under
+// "wal.<metric>#<instance>" and enables latency histograms and flush
+// spans. Call right after New, before concurrent use; a nil registry
+// keeps the standalone counters.
+func (l *Log) SetObs(reg *obs.Registry, instance string) {
+	if reg == nil {
+		return
+	}
+	l.mu.Lock()
+	l.appends = reg.Counter("wal.appends#" + instance)
+	l.flushes = reg.Counter("wal.flushes#" + instance)
+	l.wrote = reg.Counter("wal.wrote.bytes#" + instance)
+	l.groupMerges = reg.Counter("wal.groupcommit.merges#" + instance)
+	l.maxFlushBlocks = reg.Gauge("wal.flush.maxblocks#" + instance)
+	l.now = reg.Now
+	l.tr = reg.Tracer()
+	l.appendLat = reg.Histogram("wal.append.latency#" + instance)
+	l.flushLat = reg.Histogram("wal.flush.latency#" + instance)
+	l.groupLat = reg.Histogram("wal.groupcommit.latency#" + instance)
+	l.mu.Unlock()
 }
 
 // SetReclaim registers the callback invoked when the log fills: the
@@ -171,6 +208,10 @@ func encodeRecord(seq int64, ups []Update) ([]byte, error) {
 // log is too full, the reclaim callback runs synchronously first.
 func (l *Log) Append(ups []Update) (int64, error) {
 	l.mu.Lock()
+	var start int64
+	if l.now != nil {
+		start = l.now()
+	}
 	seq := l.nextSeq + 1
 	rec, err := encodeRecord(seq, ups)
 	if err != nil {
@@ -204,10 +245,13 @@ func (l *Log) Append(ups []Update) (int64, error) {
 		l.mu.Lock()
 	}
 	l.nextSeq = seq
-	l.appends++
+	l.appends.Inc()
 	l.pending = append(l.pending, recSpan{seq: seq, start: l.head, end: l.head + need})
 	l.buf = append(l.buf, rec...)
 	l.head += need
+	if l.now != nil {
+		l.appendLat.Record(l.now() - start)
+	}
 	l.mu.Unlock()
 	return seq, nil
 }
@@ -261,9 +305,17 @@ func (l *Log) flushTo(target int64) error {
 		if l.flushing {
 			// Piggyback: wait for the in-flight write, then re-check.
 			ch := l.flushDone
-			l.groupMerges++
+			l.groupMerges.Inc()
+			now := l.now
 			l.mu.Unlock()
+			var gstart int64
+			if now != nil {
+				gstart = now()
+			}
 			<-ch
+			if now != nil {
+				l.groupLat.Record(now() - gstart)
+			}
 			continue
 		}
 		if len(l.buf) == 0 {
@@ -277,11 +329,21 @@ func (l *Log) flushTo(target int64) error {
 		l.bufStart = l.head
 		l.flushing = true
 		l.flushDone = make(chan struct{})
-		l.flushes++
+		l.flushes.Inc()
 		pend := append([]recSpan(nil), l.pending...)
+		now, tr := l.now, l.tr
 		l.mu.Unlock()
 
+		sp := tr.Child("wal", "flush")
+		var fstart int64
+		if now != nil {
+			fstart = now()
+		}
 		err := l.writeStream(buf, start, pend)
+		sp.Done()
+		if now != nil {
+			l.flushLat.Record(now() - fstart)
+		}
 
 		l.mu.Lock()
 		if err == nil {
@@ -342,12 +404,8 @@ func (l *Log) writeStream(buf []byte, start int64, pend []recSpan) error {
 		written += runLen * BlockSize
 		idx += runLen
 	}
-	l.mu.Lock()
-	l.wrote += written
-	if nBlks > l.maxFlushBlocks {
-		l.maxFlushBlocks = nBlks
-	}
-	l.mu.Unlock()
+	l.wrote.Add(written)
+	l.maxFlushBlocks.SetMax(nBlks)
 	return nil
 }
 
@@ -383,16 +441,17 @@ type Stats struct {
 	MaxFlushBlocks int64
 }
 
-// Stats returns a snapshot of the log's counters.
+// Stats returns a snapshot of the log's counters. The counters are
+// individually race-safe, so no lock is needed (the old
+// implementation read several fields under the log mutex; the
+// registry-backed counters made that unnecessary).
 func (l *Log) Stats() Stats {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	return Stats{
-		Appends:        l.appends,
-		Flushes:        l.flushes,
-		BytesWritten:   l.wrote,
-		GroupMerges:    l.groupMerges,
-		MaxFlushBlocks: l.maxFlushBlocks,
+		Appends:        l.appends.Value(),
+		Flushes:        l.flushes.Value(),
+		BytesWritten:   l.wrote.Value(),
+		GroupMerges:    l.groupMerges.Value(),
+		MaxFlushBlocks: l.maxFlushBlocks.Value(),
 	}
 }
 

@@ -1,0 +1,177 @@
+package frangipani_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"frangipani/internal/fs"
+	"frangipani/internal/lockservice"
+	"frangipani/internal/petal"
+	"frangipani/internal/rpc"
+	"frangipani/internal/sim"
+)
+
+// TestSyncTraceCoversLayers checks the tentpole acceptance: a single
+// Sync on a simulated cluster produces one trace whose spans cover
+// the fs, wal, lockservice, and petal layers, and the renderer can
+// print it.
+func TestSyncTraceCoversLayers(t *testing.T) {
+	c := newTestCluster(t)
+	f, err := c.AddServer("ws1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Mkdir("/t"); err != nil {
+		t.Fatal(err)
+	}
+	h, err := f.OpenFile("/t/a", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(make([]byte, 64<<10), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := c.Obs()
+	if reg == nil {
+		t.Fatal("cluster has no registry")
+	}
+	tr := reg.Tracer()
+	spans := tr.SpansFor(tr.LastRoot())
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded for last root trace")
+	}
+	layers := map[string]bool{}
+	ids := map[uint64]bool{}
+	for _, sp := range spans {
+		layers[sp.Layer] = true
+		ids[sp.ID] = true
+	}
+	for _, want := range []string{"fs", "wal", "lockservice", "petal"} {
+		if !layers[want] {
+			t.Errorf("Sync trace missing layer %q (got %v)", want, layers)
+		}
+	}
+	// Every span's parent must be inside the same trace (0 for the root).
+	for _, sp := range spans {
+		if sp.Parent != 0 && !ids[sp.Parent] {
+			t.Errorf("span %s.%s has dangling parent %d", sp.Layer, sp.Op, sp.Parent)
+		}
+	}
+	out := tr.RenderTrace(tr.LastRoot())
+	for _, want := range []string{"fs.sync", "wal.flush", "petal."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered trace missing %q:\n%s", want, out)
+		}
+	}
+
+	// The registry saw the op end-to-end: fs latency histogram and
+	// petal write counters are non-empty.
+	snap := reg.Snapshot()
+	if snap.Empty() {
+		t.Fatal("registry snapshot empty after workload")
+	}
+	if h := snap.Histograms["fs.sync.latency#ws1"]; h.Count == 0 {
+		t.Error("fs.sync.latency#ws1 histogram empty")
+	}
+	if snap.Counters["wal.flushes#ws1"] == 0 {
+		t.Error("wal.flushes#ws1 counter zero")
+	}
+}
+
+// TestTraceOverTCP runs the full stack — Petal servers, lock servers,
+// and one Frangipani server — over real TCP sockets and checks that
+// trace context propagates across the wire: the Sync span tree must
+// include server-side petal spans, which can only appear if the
+// envelope carried the trace and span IDs through the TCP codec.
+func TestTraceOverTCP(t *testing.T) {
+	carrier := rpc.NewTCPCarrier()
+	defer carrier.Close()
+	w := sim.NewWorld(1, 11) // real time: TCP is real
+	defer w.Stop()
+
+	pcfg := petal.DefaultServerConfig(256 << 20)
+	pcfg.NumDisks = 2
+	petalNames := []string{"tp0", "tp1", "tp2"}
+	var petals []*petal.Server
+	for _, n := range petalNames {
+		petals = append(petals, petal.NewServerWithCarrier(w, n, petalNames, pcfg, carrier))
+	}
+	defer func() {
+		for _, s := range petals {
+			s.Close()
+		}
+	}()
+
+	lcfg := lockservice.DefaultConfig()
+	lcfg.HeartbeatEvery = 200 * time.Millisecond
+	lcfg.SuspectAfter = 2 * time.Second
+	lockNames := []string{"tl0", "tl1", "tl2"}
+	var locks []*lockservice.Server
+	for _, n := range lockNames {
+		locks = append(locks, lockservice.NewServerWithCarrier(w, n, lockNames, lcfg, carrier))
+	}
+	defer func() {
+		for _, s := range locks {
+			s.Close()
+		}
+	}()
+
+	admin := petal.NewClientWithCarrier(w, "tadmin", petalNames, carrier)
+	defer admin.Close()
+	if err := admin.CreateVDisk("tcpfs"); err != nil {
+		t.Fatal(err)
+	}
+	lay := fs.DefaultLayout()
+	if err := fs.Mkfs(admin, "tcpfs", lay); err != nil {
+		t.Fatal(err)
+	}
+
+	fcfg := fs.DefaultConfig()
+	fcfg.Lock = lcfg
+	fcfg.Carrier = carrier
+	pc := petal.NewClientWithCarrier(w, "tws1", petalNames, carrier)
+	defer pc.Close()
+	f, err := fs.Mount(w, "tws1", pc, "tcpfs", lockNames, lay, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Unmount()
+
+	if err := f.Mkdir("/t"); err != nil {
+		t.Fatal(err)
+	}
+	h, err := f.OpenFile("/t/a", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(make([]byte, 32<<10), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := w.Obs.Tracer()
+	spans := tr.SpansFor(tr.LastRoot())
+	layers := map[string]bool{}
+	serverSide := false
+	for _, sp := range spans {
+		layers[sp.Layer] = true
+		if sp.Layer == "petal" && strings.HasPrefix(sp.Op, "server.") {
+			serverSide = true
+		}
+	}
+	for _, want := range []string{"fs", "wal", "lockservice", "petal"} {
+		if !layers[want] {
+			t.Errorf("TCP Sync trace missing layer %q (got %v)", want, layers)
+		}
+	}
+	if !serverSide {
+		t.Error("no server-side petal span: trace context did not cross the TCP wire")
+	}
+}
