@@ -22,6 +22,8 @@ package frangipani
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"frangipani/internal/fs"
@@ -135,8 +137,17 @@ type Cluster struct {
 
 	petalNames []string
 	lockNames  []string
-	servers    map[string]*FS
-	clients    []*petal.Client
+
+	// mu guards servers and clients: Health() and the metrics
+	// endpoint read them from other goroutines.
+	mu      sync.Mutex
+	servers map[string]*FS
+	clients []*petal.Client
+
+	winOnce sync.Once
+	windows *obs.WindowRing
+
+	metrics *obs.MetricsServer
 }
 
 // NewCluster builds the stack and initializes the shared file
@@ -215,7 +226,9 @@ func (c *Cluster) PetalServerNames() []string {
 // Client returns a Petal device driver for the named machine.
 func (c *Cluster) Client(machine string) *petal.Client {
 	pc := petal.NewClient(c.World, machine, c.petalNames)
+	c.mu.Lock()
 	c.clients = append(c.clients, pc)
+	c.mu.Unlock()
 	return pc
 }
 
@@ -228,30 +241,165 @@ func (c *Cluster) AddServer(machine string) (*FS, error) {
 
 // AddServerWithConfig mounts a server with a custom configuration.
 func (c *Cluster) AddServerWithConfig(machine string, fscfg Config) (*FS, error) {
-	if _, dup := c.servers[machine]; dup {
+	c.mu.Lock()
+	_, dup := c.servers[machine]
+	c.mu.Unlock()
+	if dup {
 		return nil, fmt.Errorf("frangipani: machine %q already has a server", machine)
 	}
 	f, err := fs.Mount(c.World, machine, c.Client(machine), c.cfg.VDisk, c.lockNames, c.lay, fscfg)
 	if err != nil {
 		return nil, err
 	}
+	c.mu.Lock()
 	c.servers[machine] = f
+	c.mu.Unlock()
 	return f, nil
 }
 
 // RemoveServer cleanly unmounts a server ("removing a Frangipani
 // server is even easier", §7).
 func (c *Cluster) RemoveServer(machine string) error {
+	c.mu.Lock()
 	f, ok := c.servers[machine]
+	delete(c.servers, machine)
+	c.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("frangipani: no server on %q", machine)
 	}
-	delete(c.servers, machine)
 	return f.Unmount()
 }
 
 // Server returns the file server mounted on a machine.
-func (c *Cluster) Server(machine string) *FS { return c.servers[machine] }
+func (c *Cluster) Server(machine string) *FS {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.servers[machine]
+}
+
+// fileServers returns a stable-ordered copy of the mounted servers.
+func (c *Cluster) fileServers() (names []string, fss []*FS) {
+	c.mu.Lock()
+	for name := range c.servers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fss = append(fss, c.servers[name])
+	}
+	c.mu.Unlock()
+	return names, fss
+}
+
+// Windows returns the cluster's windowed-metrics ring (capacity 64),
+// created on first use. Call its Advance at whatever cadence the
+// caller wants windows at; frangicli's watch mode does this once per
+// refresh.
+func (c *Cluster) Windows() *obs.WindowRing {
+	c.winOnce.Do(func() {
+		c.windows = obs.NewWindowRing(c.Obs(), 64)
+	})
+	return c.windows
+}
+
+// Health evaluates the cluster's health probes and rolls them into a
+// single verdict:
+//
+//   - lease: a server's lock-service lease is expiry-imminent (warn
+//     inside 25% of the lease duration, crit when expired/poisoned);
+//   - wal: a server has a write backlog but has not completed a
+//     flush for over a minute of simulated time (stall);
+//   - cache: a server's data or metadata pool is nearly all dirty
+//     (write-back cannot keep up; warn at 75%, crit at 90%);
+//   - petal: a Petal server's partners have missed replicated writes
+//     that anti-entropy has not yet repaired (replica lag).
+func (c *Cluster) Health() obs.HealthReport {
+	h := obs.NewHealth()
+	now := int64(c.World.Clock.Now())
+	lease := c.cfg.FSConfig.Lock.LeaseDuration
+	names, fss := c.fileServers()
+	for i, name := range names {
+		f := fss[i]
+		hi := f.Health()
+		h.Register("lease/"+name, func() (obs.ProbeStatus, string) {
+			if hi.Poisoned {
+				return obs.StatusCrit, "lease lost; server poisoned"
+			}
+			left := time.Duration(hi.LeaseExpiresAt - now)
+			if left <= 0 {
+				return obs.StatusCrit, "lease expired"
+			}
+			if lease > 0 && left < lease/4 {
+				return obs.StatusWarn, fmt.Sprintf("lease expires in %v (< 25%% of %v)", left, lease)
+			}
+			return obs.StatusOK, fmt.Sprintf("lease valid for %v", left)
+		})
+		h.Register("wal/"+name, func() (obs.ProbeStatus, string) {
+			if hi.WALBacklogBytes == 0 {
+				return obs.StatusOK, "no unflushed log bytes"
+			}
+			if hi.WALLastFlush != 0 && time.Duration(now-hi.WALLastFlush) > time.Minute {
+				return obs.StatusWarn, fmt.Sprintf("%d B unflushed, last flush %v ago",
+					hi.WALBacklogBytes, time.Duration(now-hi.WALLastFlush))
+			}
+			return obs.StatusOK, fmt.Sprintf("%d B in flight", hi.WALBacklogBytes)
+		})
+		h.Register("cache/"+name, func() (obs.ProbeStatus, string) {
+			worst, detail := obs.StatusOK, "pools healthy"
+			check := func(kind string, dirty, capacity int) {
+				if capacity == 0 {
+					return
+				}
+				frac := float64(dirty) / float64(capacity)
+				st := obs.StatusOK
+				if frac >= 0.90 {
+					st = obs.StatusCrit
+				} else if frac >= 0.75 {
+					st = obs.StatusWarn
+				}
+				if st > worst {
+					worst = st
+					detail = fmt.Sprintf("%s pool %.0f%% dirty (%d/%d)", kind, frac*100, dirty, capacity)
+				}
+			}
+			check("data", hi.DataDirty, hi.DataCapacity)
+			check("meta", hi.MetaDirty, hi.MetaCapacity)
+			return worst, detail
+		})
+	}
+	for _, p := range c.Petals {
+		p := p
+		h.Register("petal/"+p.Name(), func() (obs.ProbeStatus, string) {
+			if n := p.MissedBacklog(); n > 0 {
+				return obs.StatusWarn, fmt.Sprintf("%d replicated chunks awaiting anti-entropy", n)
+			}
+			return obs.StatusOK, "replicas in sync"
+		})
+	}
+	return h.Evaluate()
+}
+
+// ServeMetrics starts an HTTP exposition endpoint on addr (":0"
+// picks a free port; read it back with the returned server's Addr).
+// It serves /metrics (Prometheus text), /snapshot.json, and /health,
+// and is shut down by Cluster.Close. Opt-in: nothing listens unless
+// this is called. Returns an error when observability is disabled.
+func (c *Cluster) ServeMetrics(addr string) (*obs.MetricsServer, error) {
+	if c.Obs() == nil {
+		return nil, fmt.Errorf("frangipani: cluster built with NoObs; no metrics to serve")
+	}
+	ms, err := obs.Serve(addr, c.Obs(), c.Health)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.metrics != nil {
+		_ = c.metrics.Close()
+	}
+	c.metrics = ms
+	c.mu.Unlock()
+	return ms, nil
+}
 
 // Fsck runs the offline consistency checker against the shared disk;
 // quiesce (Sync) the servers first for a meaningful answer.
@@ -261,13 +409,25 @@ func (c *Cluster) Fsck() (*Report, error) {
 
 // Close tears the whole cluster down.
 func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.metrics != nil {
+		_ = c.metrics.Close()
+		c.metrics = nil
+	}
+	servers := make(map[string]*FS, len(c.servers))
 	for name, f := range c.servers {
+		servers[name] = f
+		delete(c.servers, name)
+	}
+	clients := c.clients
+	c.clients = nil
+	c.mu.Unlock()
+	for _, f := range servers {
 		if !f.Poisoned() {
 			_ = f.Unmount()
 		}
-		delete(c.servers, name)
 	}
-	for _, pc := range c.clients {
+	for _, pc := range clients {
 		pc.Close()
 	}
 	for _, s := range c.Locks {

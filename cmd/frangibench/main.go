@@ -12,20 +12,23 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
+	"strings"
 
 	"frangipani"
 	"frangipani/internal/bench"
+	"frangipani/internal/obs"
 )
 
 var names = []string{
 	"table1", "table2", "table3",
 	"fig5", "fig6", "fig7", "fig7-norepl", "fig8", "fig9",
 	"wshare", "smallreads", "ablation-synclog", "writeback-pipeline",
-	"obs-overhead", "obs-smoke",
+	"obs-overhead", "obs-smoke", "contention-profile",
 }
 
 func main() {
@@ -37,6 +40,7 @@ func main() {
 		machines    = flag.Int("machines", 6, "maximum Frangipani machines in scaling sweeps")
 		petals      = flag.Int("petals", 7, "number of Petal servers")
 		snapshot    = flag.String("snapshot", "", "run a small workload and dump the metrics registry (text|json)")
+		jsonOut     = flag.String("json", "", "run the small workload and write a machine-readable report to this path")
 	)
 	flag.Parse()
 
@@ -49,6 +53,14 @@ func main() {
 
 	if *snapshot != "" {
 		if err := dumpSnapshot(*snapshot); err != nil {
+			fmt.Fprintln(os.Stderr, "frangibench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *jsonOut != "" {
+		if err := writeJSONReport(*jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "frangibench:", err)
 			os.Exit(1)
 		}
@@ -101,6 +113,106 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// benchReport is the machine-readable output of -json: per-operation
+// latency summaries, RPC/request counts, a critical-path profile of
+// the traced operations, and the full registry snapshot for anything
+// a consumer wants that the curated sections omit.
+type benchReport struct {
+	Ops      map[string]obs.HistStat `json:"op_latencies"`
+	RPCs     map[string]int64        `json:"rpc_counts"`
+	CritPath []critEntry             `json:"critical_path,omitempty"`
+	Snapshot obs.Snapshot            `json:"snapshot"`
+}
+
+type critEntry struct {
+	RootOp   string          `json:"root_op"`
+	Count    int64           `json:"count"`
+	MeanNs   int64           `json:"mean_ns"`
+	Coverage float64         `json:"coverage"`
+	Layers   []obs.PathEntry `json:"layers"`
+}
+
+// writeJSONReport runs the same small workload as -snapshot and
+// writes a benchReport to path.
+func writeJSONReport(path string) error {
+	c, err := frangipani.NewCluster(frangipani.DefaultClusterConfig())
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := smallWorkload(c); err != nil {
+		return err
+	}
+	reg := c.Obs()
+	snap := reg.Snapshot()
+	rep := benchReport{
+		Ops:      map[string]obs.HistStat{},
+		RPCs:     map[string]int64{},
+		Snapshot: snap,
+	}
+	for name, h := range snap.Histograms {
+		if strings.HasPrefix(name, "fs.") && strings.Contains(name, ".latency") {
+			rep.Ops[name] = h
+		}
+	}
+	for name, v := range snap.Counters {
+		if strings.Contains(name, ".rpcs#") || strings.Contains(name, ".requests#") {
+			rep.RPCs[name] = v
+		}
+	}
+	cp := obs.NewCritPath()
+	cp.AddTracer(reg.Tracer(), 0)
+	for _, root := range cp.RootOps() {
+		rep.CritPath = append(rep.CritPath, critEntry{
+			RootOp:   root,
+			Count:    cp.Count(root),
+			MeanNs:   cp.MeanNs(root),
+			Coverage: cp.Coverage(root),
+			Layers:   cp.Profile(root),
+		})
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// smallWorkload exercises every layer once: metadata ops, a 64 KB
+// write, a cross-server read (coherence traffic), and syncs.
+func smallWorkload(c *frangipani.Cluster) error {
+	f, err := c.AddServer("ws1")
+	if err != nil {
+		return err
+	}
+	f2, err := c.AddServer("ws2")
+	if err != nil {
+		return err
+	}
+	if err := f.Mkdir("/demo"); err != nil {
+		return err
+	}
+	h, err := f.OpenFile("/demo/a", true)
+	if err != nil {
+		return err
+	}
+	if _, err := h.WriteAt(make([]byte, 64<<10), 0); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	h2, err := f2.Open("/demo/a")
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 64<<10)
+	if _, err := h2.ReadAt(buf, 0); err != nil {
+		return err
+	}
+	return f2.Sync()
 }
 
 // dumpSnapshot runs a tiny workload on a default cluster and prints

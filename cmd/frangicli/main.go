@@ -16,9 +16,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"frangipani"
+	"frangipani/internal/obs"
 )
 
 func main() {
@@ -68,6 +71,13 @@ func main() {
                        cluster metrics snapshot; 'trace' renders the
                        span tree of the last completed operation,
                        'slow' dumps recorded slow operations
+  watch [n]            render n windowed refreshes (default 5, 1/s):
+                       per-window op rates and p99s, health verdict,
+                       and the hot-lock table
+  health               evaluate the cluster health probes
+  hotlocks             top contended locks (acquire wait + revokes)
+  critpath             critical-path profile of recent traces
+                       ("where does a Sync go")
   fsck                 offline consistency check
   quit`)
 		case "on":
@@ -157,6 +167,61 @@ func main() {
 				}
 			default:
 				fmt.Print(reg.Snapshot().Text())
+			}
+		case "watch":
+			reg := cluster.Obs()
+			if reg == nil {
+				fmt.Println("observability disabled")
+				break
+			}
+			rounds := 5
+			if n, convErr := strconv.Atoi(arg(args, 1)); convErr == nil && n > 0 {
+				rounds = n
+			}
+			ring := cluster.Windows()
+			for i := 0; i < rounds; i++ {
+				time.Sleep(time.Second)
+				win := ring.Advance()
+				fmt.Printf("--- refresh %d/%d ---\n", i+1, rounds)
+				fmt.Print(win.Text())
+				rep := cluster.Health()
+				fmt.Printf("health: %s", rep.Verdict)
+				for _, p := range rep.Probes {
+					if p.Status != 0 {
+						fmt.Printf("  [%s %s: %s]", p.Status, p.Name, p.Detail)
+					}
+				}
+				fmt.Println()
+				if top := reg.Resources("lockservice.locks").TopK(5); len(top) > 0 {
+					fmt.Print(obs.RenderResources("hot locks", top))
+				}
+			}
+		case "health":
+			fmt.Print(cluster.Health().Text())
+		case "hotlocks":
+			reg := cluster.Obs()
+			if reg == nil {
+				fmt.Println("observability disabled")
+				break
+			}
+			top := reg.Resources("lockservice.locks").TopK(10)
+			if len(top) == 0 {
+				fmt.Println("no lock acquisitions recorded yet")
+				break
+			}
+			fmt.Print(obs.RenderResources("hot locks", top))
+		case "critpath":
+			reg := cluster.Obs()
+			if reg == nil {
+				fmt.Println("observability disabled")
+				break
+			}
+			cp := obs.NewCritPath()
+			cp.AddTracer(reg.Tracer(), 0)
+			if out := cp.Report(); out != "" {
+				fmt.Print(out)
+			} else {
+				fmt.Println("no completed traces yet")
 			}
 		case "fsck":
 			for _, f := range servers {

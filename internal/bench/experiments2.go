@@ -555,6 +555,8 @@ func (o Options) ByName(name string) (*Table, error) {
 		return o.ObsOverhead()
 	case "obs-smoke":
 		return o.ObsSmoke()
+	case "contention-profile":
+		return o.ContentionProfile()
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q", name)
 }

@@ -98,6 +98,22 @@ func (p *Pool) SetFlusher(f Flusher) {
 // BlockSize returns the pool's block size.
 func (p *Pool) BlockSize() int { return p.blockSize }
 
+// Capacity returns the pool's entry capacity.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Usage reports occupancy for health probing: resident entries and
+// how many of them are dirty.
+func (p *Pool) Usage() (resident, dirty int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range p.entries {
+		if e.Dirty {
+			dirty++
+		}
+	}
+	return len(p.entries), dirty
+}
+
 // Lookup returns the cached entry for addr, if present, bumping LRU.
 func (p *Pool) Lookup(addr int64) (*Entry, bool) {
 	p.mu.Lock()

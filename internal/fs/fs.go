@@ -280,6 +280,9 @@ func Mount(w *sim.World, machine string, pc *petal.Client, vd petal.VDiskID,
 	if w.Obs != nil {
 		fs.now = w.Obs.Now
 		fs.tr = w.Obs.Tracer()
+		// Hot-lock table entries decode to human-readable lock names
+		// ("inode/7") in snapshots and exposition.
+		w.Obs.Resources("lockservice.locks").SetNamer(LockName)
 	}
 	fs.meta.SetObs(w.Obs, machine+".meta")
 	fs.data.SetObs(w.Obs, machine+".data")
@@ -353,6 +356,36 @@ func (fs *FS) Stats() Counters {
 		FlushPages:        fs.m.flushPages.Value(),
 		FlushPeakInFlight: fs.m.flushPeak.Value(),
 	}
+}
+
+// HealthInfo aggregates one server's live health signals for the
+// cluster health probes.
+type HealthInfo struct {
+	// LeaseExpiresAt is when the lock-service lease lapses (ns,
+	// simulated clock); Poisoned means it already has.
+	LeaseExpiresAt int64
+	Poisoned       bool
+	// WALBacklogBytes is the log stream appended but not yet durable;
+	// WALLastFlush is the timestamp of the last successful flush (0
+	// before the first).
+	WALBacklogBytes int64
+	WALLastFlush    int64
+	// Cache occupancy, per pool.
+	MetaResident, MetaDirty, MetaCapacity int
+	DataResident, DataDirty, DataCapacity int
+}
+
+// Health snapshots the server's health signals.
+func (fs *FS) Health() HealthInfo {
+	var hi HealthInfo
+	hi.LeaseExpiresAt = fs.clerk.ExpiresAt()
+	hi.Poisoned = fs.Poisoned()
+	hi.WALBacklogBytes, hi.WALLastFlush = fs.log.FlushHealth()
+	hi.MetaResident, hi.MetaDirty = fs.meta.Usage()
+	hi.MetaCapacity = fs.meta.Capacity()
+	hi.DataResident, hi.DataDirty = fs.data.Usage()
+	hi.DataCapacity = fs.data.Capacity()
+	return hi
 }
 
 // traced wraps one public operation in a root span (joining the
@@ -518,11 +551,17 @@ func (fs *FS) readMeta(addr int64, owner uint64) (*cache.Entry, error) {
 	if e, ok := fs.meta.Lookup(addr); ok {
 		return e, nil
 	}
-	buf := make([]byte, SectorSize)
-	if err := fs.pc.Read(fs.vd, addr, buf); err != nil {
-		return nil, err
-	}
-	return fs.meta.Insert(addr, buf, owner), nil
+	sp := fs.tr.Child("cache", "fill")
+	defer sp.Done()
+	var entry *cache.Entry
+	var err error
+	obs.With(sp, func() {
+		buf := make([]byte, SectorSize)
+		if err = fs.pc.Read(fs.vd, addr, buf); err == nil {
+			entry = fs.meta.Insert(addr, buf, owner)
+		}
+	})
+	return entry, err
 }
 
 // readData returns the cached 4 KB data page at addr.
@@ -562,22 +601,27 @@ func (fs *FS) readDataRun(addr int64, count int, owner uint64) (*cache.Entry, er
 		}
 		fs.fetchMu.Unlock()
 
-		buf := make([]byte, n*BlockSize)
-		err := fs.pc.Read(fs.vd, addr, buf)
 		var first *cache.Entry
-		if err == nil {
-			fs.m.bytesRead.Add(int64(len(buf)))
-			first = fs.data.Insert(addr, buf[:BlockSize], owner)
-			for i := 1; i < n; i++ {
-				// A concurrent writer may have raced a page in; keep
-				// theirs.
-				pageAddr := addr + int64(i)*BlockSize
-				if _, hit := fs.data.Lookup(pageAddr); hit {
-					continue
+		var err error
+		sp := fs.tr.Child("cache", "fill")
+		obs.With(sp, func() {
+			buf := make([]byte, n*BlockSize)
+			err = fs.pc.Read(fs.vd, addr, buf)
+			if err == nil {
+				fs.m.bytesRead.Add(int64(len(buf)))
+				first = fs.data.Insert(addr, buf[:BlockSize], owner)
+				for i := 1; i < n; i++ {
+					// A concurrent writer may have raced a page in; keep
+					// theirs.
+					pageAddr := addr + int64(i)*BlockSize
+					if _, hit := fs.data.Lookup(pageAddr); hit {
+						continue
+					}
+					fs.data.Insert(pageAddr, buf[i*BlockSize:(i+1)*BlockSize], owner)
 				}
-				fs.data.Insert(pageAddr, buf[i*BlockSize:(i+1)*BlockSize], owner)
 			}
-		}
+		})
+		sp.Done()
 		fs.fetchMu.Lock()
 		for i := 0; i < n; i++ {
 			delete(fs.inflight, addr+int64(i)*BlockSize)

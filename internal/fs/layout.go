@@ -253,6 +253,23 @@ func SegLock(s int64) uint64 { return lockTagBitmap | uint64(s) }
 // a recovery demon while it replays that log).
 func LogLock(slot int) uint64 { return lockTagLog | uint64(slot) }
 
+// LockName decodes a lock id into a human-readable name for the
+// hot-lock contention table ("inode/7", "bitmap-seg/3", ...).
+func LockName(id uint64) string {
+	n := id & (uint64(1)<<56 - 1)
+	switch id &^ (uint64(1)<<56 - 1) {
+	case lockTagInode:
+		return fmt.Sprintf("inode/%d", n)
+	case lockTagBitmap:
+		return fmt.Sprintf("bitmap-seg/%d", n)
+	case lockTagLog:
+		return fmt.Sprintf("log-slot/%d", n)
+	case LockBarrier:
+		return "backup-barrier"
+	}
+	return fmt.Sprintf("%#x", id)
+}
+
 // Params sector (one sector at ParamsBase).
 const paramsMagic = 0x46524749 // "FRGI"
 

@@ -76,6 +76,7 @@ type Clerk struct {
 	acqLat *obs.Histogram
 	revLat *obs.Histogram
 	relLat *obs.Histogram
+	resTab *obs.ResourceTable // per-lock contention (hot-lock table)
 }
 
 func (c *Clerk) trace(format string, args ...any) {
@@ -109,6 +110,7 @@ func NewClerkWithCarrier(w *sim.World, machine, table string, servers []string, 
 		c.acqLat = reg.Histogram("lockservice.acquire.latency#" + machine)
 		c.revLat = reg.Histogram("lockservice.revoke.latency#" + machine)
 		c.relLat = reg.Histogram("lockservice.release.latency#" + machine)
+		c.resTab = reg.Resources("lockservice.locks")
 	}
 	c.ep = rpc.NewEndpoint(ClerkAddr(machine), carrier, w.Clock, c.handle)
 	return c
@@ -307,7 +309,11 @@ func (c *Clerk) Lock(lock uint64, mode Mode) error {
 	} else {
 		err = c.lockWait(lock, mode)
 	}
-	c.acqLat.Record(c.now() - start)
+	// Per-lock contention: the whole acquire latency counts as wait
+	// (an uncontended sticky hit is ~0, so hot locks dominate).
+	wait := c.now() - start
+	c.resTab.Acquire(lock, wait)
+	c.acqLat.Record(wait)
 	return err
 }
 
@@ -489,6 +495,7 @@ func (c *Clerk) retryRequests() {
 // pending revoke.
 func (c *Clerk) processRevoke(lock uint64) {
 	c.trace("processRevoke lock=%x", lock)
+	c.resTab.Event(lock) // count the revoke against the lock
 	var start int64
 	if c.now != nil {
 		start = c.now()

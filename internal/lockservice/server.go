@@ -99,6 +99,7 @@ type Server struct {
 	cancels    []func()
 
 	reqC             *obs.Counter
+	revC             *obs.Counter
 	locksG, memBytes *obs.Gauge
 
 	// Trace, when set, receives debug events.
@@ -139,6 +140,7 @@ func NewServerWithCarrier(w *sim.World, name string, peers []string, cfg Config,
 	}
 	if reg := w.Obs; reg != nil {
 		s.reqC = reg.Counter("lockservice.server.requests#" + name)
+		s.revC = reg.Counter("lockservice.server.revokes#" + name)
 		s.locksG = reg.Gauge("lockservice.server.locks#" + name)
 		s.memBytes = reg.Gauge("lockservice.server.bytes#" + name)
 	}
@@ -517,6 +519,7 @@ func (s *Server) revokesFor(k lockKey, ls *lockState) []outMsg {
 		} else if w.mode == Shared && mode == Shared {
 			continue // not conflicting
 		}
+		s.revC.Inc()
 		outs = append(outs, outMsg{ClerkAddr(clerk), RevokeMsg{Table: k.Table, Lock: k.Lock, NewMode: target}})
 	}
 	return outs

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func expoRegistry() *Registry {
+	reg := NewRegistry((&fakeClock{}).now)
+	reg.Counter("fs.ops.count#ws1").Inc()
+	reg.Counter("fs.ops.count#ws2").Add(3)
+	reg.Gauge("petal.server.inflight#petal0").Set(2)
+	h := reg.Histogram("fs.sync.latency#ws1")
+	for i := 0; i < 20; i++ {
+		h.Record(int64(i+1) * 1e6)
+	}
+	tab := reg.Resources("lockservice.locks")
+	tab.SetNamer(func(id uint64) string { return fmt.Sprintf("inode/%d", id) })
+	tab.Acquire(7, 5e6)
+	tab.Event(7)
+	return reg
+}
+
+var promSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z0-9_]+="[^"]*"(,[a-zA-Z0-9_]+="[^"]*")*\})? -?[0-9]+$`)
+
+// TestPrometheusParses validates the exposition text line by line:
+// every sample line is well formed, every family has exactly one TYPE
+// header, and all of a family's samples sit contiguously under it —
+// the grouping the format requires.
+func TestPrometheusParses(t *testing.T) {
+	out := expoRegistry().Snapshot().Prometheus()
+	if out == "" {
+		t.Fatal("empty exposition")
+	}
+	seenType := map[string]bool{}
+	family := ""
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			fam, typ := parts[2], parts[3]
+			if seenType[fam] {
+				t.Fatalf("family %s has two TYPE lines", fam)
+			}
+			seenType[fam] = true
+			switch typ {
+			case "counter", "gauge", "summary":
+			default:
+				t.Fatalf("unknown type %q in %q", typ, line)
+			}
+			family = fam
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promSample.MatchString(line) {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		if family == "" || !strings.HasPrefix(name, family) {
+			t.Fatalf("sample %q not grouped under its family (current %q)", line, family)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE frangipani_fs_ops_count_total counter",
+		`frangipani_fs_ops_count_total{instance="ws2"} 3`,
+		"# TYPE frangipani_fs_sync_latency_ns summary",
+		`quantile="0.99"`,
+		"frangipani_fs_sync_latency_ns_count",
+		`frangipani_resource_wait_ns{table="lockservice.locks",resource="inode/7"} 5000000`,
+		`frangipani_resource_events{table="lockservice.locks",resource="inode/7"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromNameMangling(t *testing.T) {
+	fam, inst := promName("fs.sync.latency#ws1")
+	if fam != "frangipani_fs_sync_latency" || inst != "ws1" {
+		t.Fatalf("got %q, %q", fam, inst)
+	}
+	fam, inst = promName("plain")
+	if fam != "frangipani_plain" || inst != "" {
+		t.Fatalf("got %q, %q", fam, inst)
+	}
+	if got := promEscape("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Fatalf("escape = %q", got)
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := expoRegistry()
+	verdict := StatusOK
+	srv := httptest.NewServer(Handler(reg, func() HealthReport {
+		return HealthReport{Verdict: verdict, Probes: []ProbeResult{{Name: "p", Status: verdict}}}
+	}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("metrics content-type = %q", ct)
+	}
+	var buf [1 << 16]byte
+	n, _ := resp.Body.Read(buf[:])
+	resp.Body.Close()
+	if !strings.Contains(string(buf[:n]), "frangipani_fs_ops_count_total") {
+		t.Fatal("metrics body missing counter family")
+	}
+
+	resp, err = http.Get(srv.URL + "/snapshot.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("snapshot.json does not decode: %v", err)
+	}
+	resp.Body.Close()
+	if snap.Counters["fs.ops.count#ws2"] != 3 {
+		t.Fatalf("snapshot counters = %+v", snap.Counters)
+	}
+
+	resp, err = http.Get(srv.URL + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/health ok verdict returned %d", resp.StatusCode)
+	}
+	verdict = StatusCrit
+	resp, err = http.Get(srv.URL + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep HealthReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || rep.Verdict != StatusCrit {
+		t.Fatalf("/health crit: code %d, report %+v", resp.StatusCode, rep)
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	reg := expoRegistry()
+	ms, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + ms.Addr() + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("nil health func must report ok, got %d", resp.StatusCode)
+	}
+	if err := ms.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + ms.Addr() + "/health"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ProbeStatus grades one health probe's finding.
+type ProbeStatus int
+
+const (
+	StatusOK ProbeStatus = iota
+	StatusWarn
+	StatusCrit
+)
+
+// String renders the status for reports and JSON.
+func (s ProbeStatus) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusWarn:
+		return "warn"
+	default:
+		return "crit"
+	}
+}
+
+// MarshalJSON encodes the status as its string form.
+func (s ProbeStatus) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes the string form back.
+func (s *ProbeStatus) UnmarshalJSON(b []byte) error {
+	switch strings.Trim(string(b), `"`) {
+	case "ok":
+		*s = StatusOK
+	case "warn":
+		*s = StatusWarn
+	case "crit":
+		*s = StatusCrit
+	default:
+		return fmt.Errorf("obs: unknown probe status %s", b)
+	}
+	return nil
+}
+
+// ProbeResult is one probe's evaluated finding.
+type ProbeResult struct {
+	Name   string      `json:"name"`
+	Status ProbeStatus `json:"status"`
+	Detail string      `json:"detail,omitempty"`
+}
+
+// HealthReport is the aggregate of all probes: the verdict is the
+// worst individual status, so a cluster is only "ok" when every
+// probe is.
+type HealthReport struct {
+	Verdict ProbeStatus   `json:"verdict"`
+	Probes  []ProbeResult `json:"probes"`
+}
+
+// Text renders the report, worst probes first.
+func (r HealthReport) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "health: %s\n", r.Verdict)
+	for _, p := range r.Probes {
+		fmt.Fprintf(&b, "  [%-4s] %-32s %s\n", p.Status, p.Name, p.Detail)
+	}
+	return b.String()
+}
+
+// Health is a registry of named probes evaluated on demand. Probes
+// are closures over live system state (a clerk's lease clock, a WAL's
+// backlog), so every Evaluate sees current conditions.
+type Health struct {
+	mu     sync.Mutex
+	probes []healthProbe
+}
+
+type healthProbe struct {
+	name  string
+	check func() (ProbeStatus, string)
+}
+
+// NewHealth returns an empty probe set.
+func NewHealth() *Health { return &Health{} }
+
+// Register adds a probe. check returns the current status and a
+// human-readable detail line. Re-registering a name replaces the
+// previous probe (servers remount, probes follow).
+func (h *Health) Register(name string, check func() (ProbeStatus, string)) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.probes {
+		if h.probes[i].name == name {
+			h.probes[i].check = check
+			return
+		}
+	}
+	h.probes = append(h.probes, healthProbe{name, check})
+}
+
+// Unregister removes a probe (e.g. when a server is removed).
+func (h *Health) Unregister(name string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.probes {
+		if h.probes[i].name == name {
+			h.probes = append(h.probes[:i], h.probes[i+1:]...)
+			return
+		}
+	}
+}
+
+// Evaluate runs every probe and aggregates the verdict. Results are
+// ordered worst first, then by name, so the top line of the report is
+// always the most urgent finding.
+func (h *Health) Evaluate() HealthReport {
+	var rep HealthReport
+	if h == nil {
+		return rep
+	}
+	h.mu.Lock()
+	probes := append([]healthProbe(nil), h.probes...)
+	h.mu.Unlock()
+	for _, p := range probes {
+		st, detail := p.check()
+		rep.Probes = append(rep.Probes, ProbeResult{Name: p.name, Status: st, Detail: detail})
+		if st > rep.Verdict {
+			rep.Verdict = st
+		}
+	}
+	sort.Slice(rep.Probes, func(i, j int) bool {
+		if rep.Probes[i].Status != rep.Probes[j].Status {
+			return rep.Probes[i].Status > rep.Probes[j].Status
+		}
+		return rep.Probes[i].Name < rep.Probes[j].Name
+	})
+	return rep
+}

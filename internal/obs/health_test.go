@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHealthVerdictIsWorstProbe(t *testing.T) {
+	h := NewHealth()
+	h.Register("b-ok", func() (ProbeStatus, string) { return StatusOK, "fine" })
+	h.Register("a-warn", func() (ProbeStatus, string) { return StatusWarn, "close to limit" })
+	rep := h.Evaluate()
+	if rep.Verdict != StatusWarn {
+		t.Fatalf("verdict = %v, want warn", rep.Verdict)
+	}
+	h.Register("c-crit", func() (ProbeStatus, string) { return StatusCrit, "expired" })
+	rep = h.Evaluate()
+	if rep.Verdict != StatusCrit {
+		t.Fatalf("verdict = %v, want crit", rep.Verdict)
+	}
+	// Worst first, then by name.
+	order := []string{"c-crit", "a-warn", "b-ok"}
+	for i, p := range rep.Probes {
+		if p.Name != order[i] {
+			t.Fatalf("probe order = %+v, want %v", rep.Probes, order)
+		}
+	}
+	out := rep.Text()
+	if !strings.Contains(out, "health: crit") || !strings.Contains(out, "expired") {
+		t.Fatalf("report text:\n%s", out)
+	}
+}
+
+func TestHealthReplaceAndUnregister(t *testing.T) {
+	h := NewHealth()
+	h.Register("lease", func() (ProbeStatus, string) { return StatusCrit, "" })
+	h.Register("lease", func() (ProbeStatus, string) { return StatusOK, "renewed" })
+	rep := h.Evaluate()
+	if rep.Verdict != StatusOK || len(rep.Probes) != 1 {
+		t.Fatalf("replace failed: %+v", rep)
+	}
+	h.Unregister("lease")
+	if rep := h.Evaluate(); len(rep.Probes) != 0 || rep.Verdict != StatusOK {
+		t.Fatalf("unregister failed: %+v", rep)
+	}
+}
+
+func TestHealthNil(t *testing.T) {
+	var h *Health
+	h.Register("x", nil)
+	h.Unregister("x")
+	if rep := h.Evaluate(); rep.Verdict != StatusOK {
+		t.Fatal("nil Health must evaluate ok")
+	}
+}
+
+func TestProbeStatusJSON(t *testing.T) {
+	for st, want := range map[ProbeStatus]string{
+		StatusOK:   `"ok"`,
+		StatusWarn: `"warn"`,
+		StatusCrit: `"crit"`,
+	} {
+		b, err := st.MarshalJSON()
+		if err != nil || string(b) != want {
+			t.Fatalf("MarshalJSON(%v) = %s, %v", st, b, err)
+		}
+	}
+}

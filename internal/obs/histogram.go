@@ -98,7 +98,9 @@ func (h *Histogram) Max() int64 {
 
 // Quantile estimates the q-th quantile (0 < q <= 1) as the midpoint
 // of the bucket holding that rank, clamped to the observed maximum.
-// Returns 0 when nothing has been recorded.
+// Returns 0 when nothing has been recorded; q outside (0, 1] (and
+// NaN) clamps to the nearest valid quantile. A single-sample
+// histogram answers that sample's bucket for every q.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h == nil {
 		return 0
@@ -106,6 +108,26 @@ func (h *Histogram) Quantile(q float64) int64 {
 	total := h.count.Load()
 	if total == 0 {
 		return 0
+	}
+	var counts [numBuckets]int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+	}
+	return quantileOf(counts[:], total, q, h.max.Load())
+}
+
+// quantileOf is the shared rank-walk over a bucket-count slice, used
+// by both cumulative histograms and windowed deltas. max bounds the
+// reported midpoint (pass the largest value known to be in counts).
+func quantileOf(counts []int64, total int64, q float64, max int64) int64 {
+	if total <= 0 {
+		return 0
+	}
+	if !(q > 0) { // also catches NaN
+		q = 0
+	}
+	if q > 1 {
+		q = 1
 	}
 	rank := int64(q*float64(total) + 0.5)
 	if rank < 1 {
@@ -115,16 +137,29 @@ func (h *Histogram) Quantile(q float64) int64 {
 		rank = total
 	}
 	var cum int64
-	for i := 0; i < numBuckets; i++ {
-		cum += h.buckets[i].Load()
+	for i := range counts {
+		cum += counts[i]
 		if cum >= rank {
 			lo, hi := BucketBounds(i)
 			mid := lo + (hi-lo)/2
-			if mx := h.max.Load(); mid > mx {
-				mid = mx
+			if mid > max {
+				mid = max
 			}
 			return mid
 		}
 	}
-	return h.max.Load()
+	return max
+}
+
+// counts copies the raw bucket occupancy plus count and sum, for
+// windowed delta math. The copy is not atomic across buckets; windows
+// tolerate the resulting off-by-a-few between concurrent recorders.
+func (h *Histogram) counts() (buckets [numBuckets]int64, count, sum int64) {
+	if h == nil {
+		return
+	}
+	for i := range buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	return buckets, h.count.Load(), h.sum.Load()
 }

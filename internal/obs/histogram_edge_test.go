@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := NewHistogram()
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2, math.NaN()} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if h.Max() != 0 || h.Sum() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestQuantileSingleSample(t *testing.T) {
+	h := NewHistogram()
+	const v = int64(1e6)
+	h.Record(v)
+	for _, q := range []float64{-0.5, 0, 0.001, 0.5, 0.99, 1, 7, math.NaN()} {
+		got := h.Quantile(q)
+		if got <= 0 || got > v {
+			t.Fatalf("single-sample Quantile(%v) = %d, want in (0, %d]", q, got, v)
+		}
+		if float64(got) < float64(v)*0.87 {
+			t.Fatalf("single-sample Quantile(%v) = %d, too far below %d", q, got, v)
+		}
+	}
+}
+
+func TestQuantileClampsOutOfRangeQ(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(int64(i))
+	}
+	lo, hi := h.Quantile(-3), h.Quantile(42)
+	if lo != h.Quantile(0) {
+		t.Fatalf("q<0 (%d) must clamp to q=0 (%d)", lo, h.Quantile(0))
+	}
+	if hi != h.Quantile(1) {
+		t.Fatalf("q>1 (%d) must clamp to q=1 (%d)", hi, h.Quantile(1))
+	}
+	if nan := h.Quantile(math.NaN()); nan != lo {
+		t.Fatalf("NaN quantile = %d, want %d", nan, lo)
+	}
+	if hi > h.Max() {
+		t.Fatalf("quantile %d exceeds max %d", hi, h.Max())
+	}
+}
+
+func TestQuantileOfZeroTotal(t *testing.T) {
+	var counts [numBuckets]int64
+	if got := quantileOf(counts[:], 0, 0.5, 100); got != 0 {
+		t.Fatalf("quantileOf(total=0) = %d", got)
+	}
+	if got := quantileOf(counts[:], -5, 0.5, 100); got != 0 {
+		t.Fatalf("quantileOf(total<0) = %d", got)
+	}
+}

@@ -115,6 +115,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	restabs  map[string]*ResourceTable
 }
 
 // NewRegistry builds a registry on the given clock. A nil now means
@@ -129,6 +130,7 @@ func NewRegistry(now NowFunc) *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		restabs:  make(map[string]*ResourceTable),
 	}
 }
 
@@ -207,6 +209,27 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// Resources returns the named per-resource contention table, creating
+// it on first use (e.g. "lockservice.locks" for the hot-lock table).
+func (r *Registry) Resources(name string) *ResourceTable {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	t := r.restabs[name]
+	r.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t = r.restabs[name]; t == nil {
+		t = newResourceTable()
+		r.restabs[name] = t
+	}
+	return t
 }
 
 // names returns the sorted metric names of one kind, for snapshots.

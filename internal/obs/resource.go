@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ResourceTable tracks contention per individual resource (a lock, a
+// queue, ...) keyed by a caller-chosen uint64 id. Unlike named
+// metrics, resource ids are unbounded in principle, so the table is
+// capacity-bounded: when full, the coldest entry (least accumulated
+// wait, then fewest acquires) is evicted to admit a new one. Hot
+// resources, by construction, survive.
+type ResourceTable struct {
+	mu    sync.Mutex
+	m     map[uint64]*resEntry
+	namer func(id uint64) string
+}
+
+// maxResourceEntries bounds one table's memory (~40 B per entry).
+const maxResourceEntries = 4096
+
+type resEntry struct {
+	acquires int64
+	waitNs   int64
+	events   int64
+}
+
+// ResourceStat is the exported per-resource summary.
+type ResourceStat struct {
+	ID       uint64 `json:"id"`
+	Name     string `json:"name,omitempty"`
+	Acquires int64  `json:"acquires"`
+	WaitNs   int64  `json:"wait_ns"`
+	Events   int64  `json:"events"` // e.g. revokes for locks
+}
+
+func newResourceTable() *ResourceTable {
+	return &ResourceTable{m: make(map[uint64]*resEntry)}
+}
+
+// SetNamer installs a function rendering resource ids for reports
+// (e.g. decoding a lock id into "inode 7"). Safe to call any time.
+func (t *ResourceTable) SetNamer(f func(id uint64) string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.namer = f
+	t.mu.Unlock()
+}
+
+// Acquire records one acquisition of the resource and the time spent
+// waiting for it (0 for an uncontended fast path).
+func (t *ResourceTable) Acquire(id uint64, waitNs int64) {
+	if t == nil {
+		return
+	}
+	if waitNs < 0 {
+		waitNs = 0
+	}
+	t.mu.Lock()
+	e := t.entryLocked(id)
+	e.acquires++
+	e.waitNs += waitNs
+	t.mu.Unlock()
+}
+
+// Event records one contention event against the resource (for locks:
+// a revoke forced by a conflicting requester).
+func (t *ResourceTable) Event(id uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.entryLocked(id).events++
+	t.mu.Unlock()
+}
+
+func (t *ResourceTable) entryLocked(id uint64) *resEntry {
+	e := t.m[id]
+	if e == nil {
+		if len(t.m) >= maxResourceEntries {
+			t.evictColdestLocked()
+		}
+		e = &resEntry{}
+		t.m[id] = e
+	}
+	return e
+}
+
+func (t *ResourceTable) evictColdestLocked() {
+	var victim uint64
+	first := true
+	var vw, va int64
+	for id, e := range t.m {
+		if first || e.waitNs < vw || (e.waitNs == vw && e.acquires < va) {
+			victim, vw, va, first = id, e.waitNs, e.acquires, false
+		}
+	}
+	if !first {
+		delete(t.m, victim)
+	}
+}
+
+// TopK returns the k hottest resources, ordered by accumulated wait
+// time (ties: events, then acquires, then id for determinism).
+func (t *ResourceTable) TopK(k int) []ResourceStat {
+	if t == nil || k <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]ResourceStat, 0, len(t.m))
+	for id, e := range t.m {
+		st := ResourceStat{ID: id, Acquires: e.acquires, WaitNs: e.waitNs, Events: e.events}
+		if t.namer != nil {
+			st.Name = t.namer(id)
+		}
+		out = append(out, st)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.WaitNs != b.WaitNs {
+			return a.WaitNs > b.WaitNs
+		}
+		if a.Events != b.Events {
+			return a.Events > b.Events
+		}
+		if a.Acquires != b.Acquires {
+			return a.Acquires > b.Acquires
+		}
+		return a.ID < b.ID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Len returns the number of tracked resources.
+func (t *ResourceTable) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// RenderResources renders a top-K table ("hot locks" style), wait in
+// milliseconds.
+func RenderResources(title string, stats []ResourceStat) string {
+	if len(stats) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n  %-28s %10s %12s %8s\n", title, "resource", "acquires", "wait (ms)", "events")
+	for _, st := range stats {
+		name := st.Name
+		if name == "" {
+			name = fmt.Sprintf("%#x", st.ID)
+		}
+		fmt.Fprintf(&b, "  %-28s %10d %12.3f %8d\n",
+			name, st.Acquires, float64(st.WaitNs)/1e6, st.Events)
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestResourceTopKOrdering(t *testing.T) {
+	reg := NewRegistry(nil)
+	tab := reg.Resources("locks")
+	tab.Acquire(1, 100)
+	tab.Acquire(2, 500)
+	tab.Acquire(2, 500)
+	tab.Acquire(3, 200)
+	tab.Event(3)
+
+	top := tab.TopK(2)
+	if len(top) != 2 {
+		t.Fatalf("TopK(2) returned %d entries", len(top))
+	}
+	if top[0].ID != 2 || top[0].WaitNs != 1000 || top[0].Acquires != 2 {
+		t.Fatalf("hottest = %+v, want id 2", top[0])
+	}
+	if top[1].ID != 3 || top[1].Events != 1 {
+		t.Fatalf("second = %+v, want id 3", top[1])
+	}
+	if all := tab.TopK(10); len(all) != 3 {
+		t.Fatalf("TopK(10) = %d entries, want all 3", len(all))
+	}
+	if tab.TopK(0) != nil {
+		t.Fatal("TopK(0) must return nil")
+	}
+}
+
+func TestResourceNamerAndRender(t *testing.T) {
+	reg := NewRegistry(nil)
+	tab := reg.Resources("locks")
+	tab.SetNamer(func(id uint64) string { return fmt.Sprintf("inode/%d", id) })
+	tab.Acquire(7, 3e6)
+	top := tab.TopK(1)
+	if top[0].Name != "inode/7" {
+		t.Fatalf("name = %q", top[0].Name)
+	}
+	out := RenderResources("hot locks", top)
+	for _, want := range []string{"hot locks", "inode/7", "3.0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The table is bounded: cold entries are evicted, hot entries
+// survive arbitrary cardinality.
+func TestResourceEvictionKeepsHot(t *testing.T) {
+	reg := NewRegistry(nil)
+	tab := reg.Resources("locks")
+	const hot = uint64(42)
+	tab.Acquire(hot, 1e9)
+	for id := uint64(1000); id < 1000+maxResourceEntries+100; id++ {
+		tab.Acquire(id, 1)
+	}
+	if n := tab.Len(); n > maxResourceEntries {
+		t.Fatalf("table grew to %d entries (cap %d)", n, maxResourceEntries)
+	}
+	top := tab.TopK(1)
+	if len(top) == 0 || top[0].ID != hot {
+		t.Fatalf("hot entry evicted: top = %+v", top)
+	}
+}
+
+func TestResourceNilAndClamp(t *testing.T) {
+	var tab *ResourceTable
+	tab.Acquire(1, 10)
+	tab.Event(1)
+	tab.SetNamer(nil)
+	if tab.TopK(5) != nil || tab.Len() != 0 {
+		t.Fatal("nil table must be inert")
+	}
+	reg := NewRegistry(nil)
+	tb := reg.Resources("x")
+	tb.Acquire(1, -50) // negative wait clamps to zero
+	if top := tb.TopK(1); top[0].WaitNs != 0 || top[0].Acquires != 1 {
+		t.Fatalf("clamp failed: %+v", top[0])
+	}
+	if reg.Resources("x") != tb {
+		t.Fatal("Resources must return the same table per name")
+	}
+}

@@ -19,11 +19,15 @@ type HistStat struct {
 // Snapshot is a point-in-time copy of every metric in a registry,
 // renderable as JSON or text.
 type Snapshot struct {
-	Counters   map[string]int64    `json:"counters,omitempty"`
-	Gauges     map[string]int64    `json:"gauges,omitempty"`
-	Histograms map[string]HistStat `json:"histograms,omitempty"`
-	SlowOps    []string            `json:"slow_ops,omitempty"`
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]int64          `json:"gauges,omitempty"`
+	Histograms map[string]HistStat       `json:"histograms,omitempty"`
+	Resources  map[string][]ResourceStat `json:"resources,omitempty"`
+	SlowOps    []string                  `json:"slow_ops,omitempty"`
 }
+
+// snapshotTopK bounds the per-resource entries carried in a snapshot.
+const snapshotTopK = 10
 
 // Snapshot captures the current value of every registered metric
 // plus any retained slow-op dumps.
@@ -50,6 +54,14 @@ func (r *Registry) Snapshot() Snapshot {
 			P99:   h.Quantile(0.99),
 			Max:   h.Max(),
 			Sum:   h.Sum(),
+		}
+	}
+	if len(r.restabs) > 0 {
+		s.Resources = make(map[string][]ResourceStat, len(r.restabs))
+		for name, t := range r.restabs {
+			if top := t.TopK(snapshotTopK); len(top) > 0 {
+				s.Resources[name] = top
+			}
 		}
 	}
 	r.mu.RUnlock()
@@ -109,6 +121,9 @@ func (s Snapshot) Text() string {
 				float64(h.P50)/1e6, float64(h.P90)/1e6,
 				float64(h.P99)/1e6, float64(h.Max)/1e6)
 		}
+	}
+	for _, name := range sortedKeys(s.Resources) {
+		b.WriteString(RenderResources("hot resources ("+name+")", s.Resources[name]))
 	}
 	if len(s.SlowOps) > 0 {
 		fmt.Fprintf(&b, "slow ops (%d):\n", len(s.SlowOps))

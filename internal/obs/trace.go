@@ -54,6 +54,12 @@ func (sp *Span) Done() {
 		t.lastRoot = sp.TraceID
 		if thr := t.slow.Load(); thr > 0 && sp.Duration() >= thr {
 			dump := t.renderLocked(sp.TraceID)
+			// Bound each retained dump: a pathological trace can have
+			// thousands of ring-resident spans, and maxSlowDumps of
+			// those must not pin megabytes.
+			if len(dump) > maxDumpBytes {
+				dump = dump[:maxDumpBytes] + "\n  ... (dump truncated)\n"
+			}
 			t.dumps = append(t.dumps, dump)
 			if len(t.dumps) > maxSlowDumps {
 				t.dumps = t.dumps[len(t.dumps)-maxSlowDumps:]
@@ -66,6 +72,7 @@ func (sp *Span) Done() {
 const (
 	ringSpans    = 8192
 	maxSlowDumps = 16
+	maxDumpBytes = 16 << 10 // per-dump cap; total dump memory <= 16*16 KB
 )
 
 // Tracer allocates span IDs and collects completed spans in a ring
@@ -157,6 +164,31 @@ func (t *Tracer) SpansFor(traceID uint64) []Span {
 	for i := 0; i < t.size; i++ {
 		if t.ring[i].TraceID == traceID {
 			out = append(out, t.ring[i])
+		}
+	}
+	return out
+}
+
+// Roots returns the trace IDs of completed root spans resident in
+// the ring, most recent first, at most max of them (0 means all).
+// It feeds the critical-path analyzer: every returned trace has its
+// root's full interval available for attribution.
+func (t *Tracer) Roots(max int) []uint64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []uint64
+	// Walk the ring newest to oldest: pos-1 is the most recent write.
+	for i := 0; i < t.size; i++ {
+		idx := (t.pos - 1 - i + len(t.ring)) % len(t.ring)
+		sp := t.ring[idx]
+		if sp.ID == sp.TraceID && sp.ID != 0 {
+			out = append(out, sp.TraceID)
+			if max > 0 && len(out) >= max {
+				break
+			}
 		}
 	}
 	return out
@@ -297,8 +329,33 @@ func Current() *Span {
 	return sp
 }
 
+// BoundSpans returns the number of live goroutine->span bindings
+// across all shards. After every traced operation has returned, the
+// table must drain to zero — each With removes (or restores) exactly
+// the entry it installed via defer, which runs on normal return,
+// early return, and panic alike. Used by the leak regression test
+// and safe to call anytime.
+func BoundSpans() int {
+	n := 0
+	for i := range glTab {
+		s := &glTab[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
 // With binds sp to the calling goroutine while fn runs, restoring
 // any previous binding afterwards. A nil sp just runs fn.
+//
+// Leak audit: the binding is removed in a defer registered before fn
+// runs, so a panic inside fn (or any early return) still unwinds the
+// table; nothing between installing the binding and registering the
+// defer can fail. Goroutine IDs are never reused by the runtime, so
+// an exited goroutine cannot alias a stale entry even if one leaked.
+// The glBound counter pairs the same Add(1)/Add(-1) in the same
+// scopes, keeping the Current fast path consistent.
 func With(sp *Span, fn func()) {
 	if sp == nil {
 		fn()

@@ -71,8 +71,11 @@ type Server struct {
 	aeCancel func()
 	nvs      []*sim.NVRAM
 
-	tr   *obs.Tracer
-	reqC *obs.Counter
+	tr       *obs.Tracer
+	reqC     *obs.Counter
+	inflight *obs.Gauge // data-path requests currently being served
+	depthHi  *obs.Gauge // high-water mark of inflight (queue depth)
+	missedG  *obs.Gauge // replica-lag backlog: chunks partners missed
 }
 
 const dataTimeout = 5 * time.Second
@@ -114,6 +117,9 @@ func NewServerWithCarrier(w *sim.World, name string, peers []string, cfg ServerC
 	s.tr = w.Obs.Tracer()
 	if reg := w.Obs; reg != nil {
 		s.reqC = reg.Counter("petal.server.requests#" + name)
+		s.inflight = reg.Gauge("petal.server.inflight#" + name)
+		s.depthHi = reg.Gauge("petal.server.inflight.peak#" + name)
+		s.missedG = reg.Gauge("petal.server.missed#" + name)
 	}
 
 	s.px = paxos.NewNode(name, peers, carrier, w.Clock, s.applyCmd)
@@ -252,8 +258,12 @@ func (s *Server) handle(from string, body any) any {
 
 // spanned runs a data-path handler under a server-side child span
 // when the request arrived with trace context (which the rpc layer
-// binds to the handler goroutine).
+// binds to the handler goroutine), tracking the server's in-flight
+// request count and its high-water mark.
 func (s *Server) spanned(op string, fn func() any) any {
+	s.inflight.Add(1)
+	s.depthHi.SetMax(s.inflight.Value())
+	defer s.inflight.Add(-1)
 	sp := s.tr.Child("petal", op)
 	if sp == nil {
 		return fn()
@@ -262,6 +272,21 @@ func (s *Server) spanned(op string, fn func() any) any {
 	obs.With(sp, func() { out = fn() })
 	sp.Done()
 	return out
+}
+
+// MissedBacklog reports the number of chunk writes this server's
+// partners have missed and not yet received via anti-entropy — the
+// replica-lag signal for health probing. The mirror gauge
+// "petal.server.missed#name" is refreshed as a side effect.
+func (s *Server) MissedBacklog() int {
+	s.mu.Lock()
+	n := 0
+	for _, keys := range s.missed {
+		n += len(keys)
+	}
+	s.mu.Unlock()
+	s.missedG.Set(int64(n))
+	return n
 }
 
 // antiEntropy pushes missed chunks to partners that are reachable

@@ -103,6 +103,7 @@ type Log struct {
 	flushing  bool
 	flushDone chan struct{} // closed when the in-flight write completes
 	durable   int64         // stream position known durable in the region
+	lastFlush int64         // ns timestamp of the last successful flush
 
 	appends        *obs.Counter
 	flushes        *obs.Counter
@@ -350,6 +351,9 @@ func (l *Log) flushTo(target int64) error {
 			if end := start + int64(len(buf)); end > l.durable {
 				l.durable = end
 			}
+			if l.now != nil {
+				l.lastFlush = l.now()
+			}
 		} else {
 			// Put the unwritten bytes back so a retry (after a
 			// transient Petal failure) rewrites them; appends during
@@ -453,6 +457,16 @@ func (l *Log) Stats() Stats {
 		GroupMerges:    l.groupMerges.Value(),
 		MaxFlushBlocks: l.maxFlushBlocks.Value(),
 	}
+}
+
+// FlushHealth reports the write-stall signals for health probing:
+// how many stream bytes sit buffered but not yet durable, and the
+// timestamp (registry clock, ns) of the last successful flush — 0
+// until the first one.
+func (l *Log) FlushHealth() (backlogBytes int64, lastFlushNs int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.head - l.durable, l.lastFlush
 }
 
 // Pending returns the sequence range of records not yet released,
