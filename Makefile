@@ -22,6 +22,10 @@ bench:
 
 ## bench-smoke: fails if the observability stack goes dark — the
 ## obs-smoke experiment errors out when the metrics snapshot is empty
-## or the Sync trace does not cover all four layers.
+## or the Sync trace does not cover all four layers — or if the
+## read-scaling experiment's in-experiment assertions (balanced reads
+## >= 1.5x primary-only; ReadDirPlus <= 50% of the stat scan's read
+## RPCs) fail.
 bench-smoke:
 	$(GO) run ./cmd/frangibench -quick -exp obs-smoke
+	$(GO) run ./cmd/frangibench -quick -exp read-scaling

@@ -226,6 +226,11 @@ func (c *Cluster) PetalServerNames() []string {
 // Client returns a Petal device driver for the named machine.
 func (c *Cluster) Client(machine string) *petal.Client {
 	pc := petal.NewClient(c.World, machine, c.petalNames)
+	if c.cfg.NoReplicate {
+		// With single-copy writes, the backup replica holds nothing;
+		// balanced reads would see holes. Route reads primary-only.
+		pc.SetReadBalance(false)
+	}
 	c.mu.Lock()
 	c.clients = append(c.clients, pc)
 	c.mu.Unlock()

@@ -28,7 +28,7 @@ var names = []string{
 	"table1", "table2", "table3",
 	"fig5", "fig6", "fig7", "fig7-norepl", "fig8", "fig9",
 	"wshare", "smallreads", "ablation-synclog", "writeback-pipeline",
-	"obs-overhead", "obs-smoke", "contention-profile",
+	"read-scaling", "obs-overhead", "obs-smoke", "contention-profile",
 }
 
 func main() {

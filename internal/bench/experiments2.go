@@ -508,6 +508,7 @@ func (o Options) All() ([]*Table, error) {
 		{"smallreads", o.SmallReads},
 		{"ablation-synclog", o.AblationSyncLog},
 		{"writeback-pipeline", o.WritebackPipeline},
+		{"read-scaling", o.ReadScaling},
 		{"obs-overhead", o.ObsOverhead},
 		{"obs-smoke", o.ObsSmoke},
 	}
@@ -551,6 +552,8 @@ func (o Options) ByName(name string) (*Table, error) {
 		return o.AblationSyncLog()
 	case "writeback-pipeline":
 		return o.WritebackPipeline()
+	case "read-scaling":
+		return o.ReadScaling()
 	case "obs-overhead":
 		return o.ObsOverhead()
 	case "obs-smoke":

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"frangipani/internal/lockservice"
+	"frangipani/internal/petal"
 )
 
 // File is an open handle on a regular file.
@@ -413,13 +414,15 @@ func (fs *FS) maybePrefetch(inum int64, in Inode, readPos int64, pages int) {
 			fs.raBusy[inum]--
 			fs.raMu.Unlock()
 		}()
-		// Fetch contiguous missing runs with clustered reads. The
-		// fetch itself runs WITHOUT holding the lock — like the
-		// paper's UFS-derived read-ahead — so if the lock is revoked
-		// meanwhile, the fetched data "must be discarded, and the work
-		// to read it turns out to have been wasted" (§9.4). The lock
-		// is only touched briefly at insert time to guarantee no stale
-		// page ever enters the cache.
+		// Collect the window's contiguous missing runs and fetch them
+		// all with one scatter-gather read. The fetch itself runs
+		// WITHOUT holding the lock — like the paper's UFS-derived
+		// read-ahead — so if the lock is revoked meanwhile, the fetched
+		// data "must be discarded, and the work to read it turns out to
+		// have been wasted" (§9.4). The lock is only touched briefly at
+		// insert time to guarantee no stale page ever enters the cache.
+		var exts []petal.ReadExtent
+		total := 0
 		for off := from; off < end; {
 			pageAddr, _, ok := fs.filePageAddr(in, off)
 			if !ok {
@@ -441,29 +444,34 @@ func (fs *FS) maybePrefetch(inum int64, in Inode, readPos int64, pages int) {
 				}
 				run++
 			}
-			buf := make([]byte, run*BlockSize)
-			if err := fs.pc.Read(fs.vd, pageAddr, buf); err != nil {
-				return
-			}
-			fs.m.bytesRead.Add(int64(len(buf)))
-			// Validity gate: only while we still hold the lock may the
-			// fetched pages enter the cache.
-			if fs.clerk.TryLock(lock, lockservice.Shared) {
-				for i := int64(0); i < run; i++ {
-					pa := pageAddr + i*BlockSize
+			exts = append(exts, petal.ReadExtent{Off: pageAddr, Dst: make([]byte, run*BlockSize)})
+			total += int(run * BlockSize)
+			off += run * BlockSize
+		}
+		if len(exts) == 0 {
+			return
+		}
+		if err := fs.pc.ReadV(fs.vd, exts); err != nil {
+			return
+		}
+		fs.m.bytesRead.Add(int64(total))
+		// Validity gate: only while we still hold the lock may the
+		// fetched pages enter the cache.
+		if fs.clerk.TryLock(lock, lockservice.Shared) {
+			for _, e := range exts {
+				for i := int64(0); i < int64(len(e.Dst))/BlockSize; i++ {
+					pa := e.Off + i*BlockSize
 					if _, hit := fs.data.Lookup(pa); hit {
 						continue
 					}
-					fs.data.Insert(pa, buf[i*BlockSize:(i+1)*BlockSize], lock)
+					fs.data.Insert(pa, e.Dst[i*BlockSize:(i+1)*BlockSize], lock)
 				}
-				fs.clerk.Unlock(lock)
-				fs.m.raHits.Inc()
-			} else {
-				// Lock lost mid-prefetch: the data is discarded.
-				fs.m.raWasted.Add(int64(len(buf)))
-				return
 			}
-			off += run * BlockSize
+			fs.clerk.Unlock(lock)
+			fs.m.raHits.Inc()
+		} else {
+			// Lock lost mid-prefetch: the data is discarded.
+			fs.m.raWasted.Add(int64(total))
 		}
 	}()
 }

@@ -107,6 +107,10 @@ type Counters struct {
 	FlushRuns         int64 // coalesced runs written back
 	FlushPages        int64 // blocks written back
 	FlushPeakInFlight int64 // max concurrent write-back dispatches seen
+
+	// Read-path batching statistics.
+	MetaBatchFetches int64 // scatter-gather metadata fetches issued
+	MetaBatchSectors int64 // sectors carried by those fetches
 }
 
 // fsMetrics is the registry-backed home of the server's counters
@@ -118,6 +122,7 @@ type fsMetrics struct {
 	raHits, raWasted             *obs.Counter
 	flushBatches, flushRuns      *obs.Counter
 	flushPages                   *obs.Counter
+	metaBatch, metaBatchSectors  *obs.Counter
 	flushPeak                    *obs.Gauge
 	opLat                        map[string]*obs.Histogram
 }
@@ -125,8 +130,8 @@ type fsMetrics struct {
 // fsOps are the traced operations, each with an
 // "fs.<op>.latency#machine" histogram.
 var fsOps = []string{
-	"stat", "readdir", "create", "remove", "rename", "link",
-	"read", "write", "truncate", "fsync", "sync", "lookup",
+	"stat", "readdir", "readdirplus", "create", "remove", "rename",
+	"link", "read", "write", "truncate", "fsync", "sync", "lookup",
 }
 
 func newFSMetrics(reg *obs.Registry, machine string) fsMetrics {
@@ -144,10 +149,12 @@ func newFSMetrics(reg *obs.Registry, machine string) fsMetrics {
 		recoveries:   c("recovery.count"),
 		raHits:       c("readahead.hits"),
 		raWasted:     c("readahead.wasted"),
-		flushBatches: c("flush.batches"),
-		flushRuns:    c("flush.runs"),
-		flushPages:   c("flush.pages"),
-		flushPeak:    obs.NewGauge(),
+		flushBatches:     c("flush.batches"),
+		flushRuns:        c("flush.runs"),
+		flushPages:       c("flush.pages"),
+		metaBatch:        c("meta.batch.fetches"),
+		metaBatchSectors: c("meta.batch.sectors"),
+		flushPeak:        obs.NewGauge(),
 	}
 	if reg != nil {
 		m.flushPeak = reg.Gauge("fs.flush.peak#" + machine)
@@ -355,6 +362,8 @@ func (fs *FS) Stats() Counters {
 		FlushRuns:         fs.m.flushRuns.Value(),
 		FlushPages:        fs.m.flushPages.Value(),
 		FlushPeakInFlight: fs.m.flushPeak.Value(),
+		MetaBatchFetches:  fs.m.metaBatch.Value(),
+		MetaBatchSectors:  fs.m.metaBatchSectors.Value(),
 	}
 }
 
@@ -562,6 +571,55 @@ func (fs *FS) readMeta(addr int64, owner uint64) (*cache.Entry, error) {
 		}
 	})
 	return entry, err
+}
+
+// metaFill names one metadata sector and the lock that covers it.
+type metaFill struct {
+	addr  int64
+	owner uint64
+}
+
+// readMetaBatch warms the metadata cache for every named sector with
+// one scatter-gather read: the sectors still missing are fetched in a
+// single petal ReadV and inserted. Directory scans and batched stat
+// paths collect their sector addresses up front and call this, so a
+// cold scan costs one round trip instead of one per sector. Callers
+// then go through readMeta for the decoded entries; after a
+// successful batch those are hits.
+func (fs *FS) readMetaBatch(fills []metaFill) error {
+	var miss []metaFill
+	for _, f := range fills {
+		if _, ok := fs.meta.Lookup(f.addr); !ok {
+			miss = append(miss, f)
+		}
+	}
+	if len(miss) == 0 {
+		return nil
+	}
+	sp := fs.tr.Child("cache", "fillv")
+	defer sp.Done()
+	var err error
+	obs.With(sp, func() {
+		bufs := make([]byte, len(miss)*SectorSize)
+		exts := make([]petal.ReadExtent, len(miss))
+		for i := range miss {
+			exts[i] = petal.ReadExtent{Off: miss[i].addr, Dst: bufs[i*SectorSize : (i+1)*SectorSize]}
+		}
+		if err = fs.pc.ReadV(fs.vd, exts); err != nil {
+			return
+		}
+		fs.m.metaBatch.Inc()
+		fs.m.metaBatchSectors.Add(int64(len(miss)))
+		for i, f := range miss {
+			// A concurrent reader may have raced the sector in — or a
+			// writer may have dirtied it; keep theirs.
+			if _, hit := fs.meta.Lookup(f.addr); hit {
+				continue
+			}
+			fs.meta.Insert(f.addr, bufs[i*SectorSize:(i+1)*SectorSize], f.owner)
+		}
+	})
+	return err
 }
 
 // readData returns the cached 4 KB data page at addr.

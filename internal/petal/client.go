@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"frangipani/internal/obs"
@@ -36,19 +37,41 @@ type Client struct {
 	// parallelism bounds concurrent chunk transfers for large I/Os.
 	parallelism int
 
-	// Write-path statistics (benchmarks compare the scatter-gather
-	// pipeline against per-run writes by RPC count).
+	// balanceReads spreads first-choice read routing across both alive
+	// replicas (Petal serves reads from either copy, §4 of the Petal
+	// paper). Benchmarks switch it off to measure the primary-only
+	// baseline. 0 = off, 1 = on.
+	balanceReads atomic.Int32
+	// rr breaks least-outstanding ties round-robin so equally loaded
+	// replicas alternate instead of sticking to the primary.
+	rr atomic.Uint64
+	// randIntn supplies deterministic jitter for retry backoff.
+	randIntn func(int) int
+
+	// Data-path statistics (benchmarks compare the scatter-gather
+	// paths against per-chunk RPCs by count, and read balancing by the
+	// primary/backup split).
 	writeRPCs     *obs.Counter // WriteReq calls issued
 	writeVRPCs    *obs.Counter // WriteVReq calls issued
 	writeVExtents *obs.Counter // extents carried by WriteVReq calls
+	readRPCs      *obs.Counter // ReadReq calls issued
+	readVRPCs     *obs.Counter // ReadVReq calls issued
+	readVExtents  *obs.Counter // extents carried by ReadVReq calls
+	readPrimary   *obs.Counter // first-choice read routings to the primary
+	readBackup    *obs.Counter // first-choice read routings to the backup
+	balancePct    *obs.Gauge   // percent of first-choice reads sent to the backup
+
+	// infl tracks this client's outstanding data-path RPCs per server,
+	// the load signal for least-outstanding read routing.
+	infl map[string]*obs.Gauge
 
 	// Observability; set once at construction.
 	now    obs.NowFunc
 	tr     *obs.Tracer
-	opLats map[string]*obs.Histogram // read/write/writev latency
+	opLats map[string]*obs.Histogram // read/readv/write/writev latency
 }
 
-// ClientStats counts write-path RPC traffic.
+// ClientStats counts data-path RPC traffic.
 type ClientStats struct {
 	// WriteRPCs is the number of single-extent WriteReq calls issued
 	// (including retries and fallbacks).
@@ -57,16 +80,36 @@ type ClientStats struct {
 	WriteVRPCs int64
 	// WriteVExtents is the total extents carried by those calls.
 	WriteVExtents int64
+	// ReadRPCs is the number of single-extent ReadReq calls issued
+	// (including retries and per-extent failovers).
+	ReadRPCs int64
+	// ReadVRPCs is the number of scatter-gather ReadVReq calls.
+	ReadVRPCs int64
+	// ReadVExtents is the total extents carried by those calls.
+	ReadVExtents int64
+	// ReadPrimary/ReadBackup split first-choice read routing decisions
+	// between the two replicas of each chunk.
+	ReadPrimary int64
+	ReadBackup  int64
 }
 
-// Stats snapshots the client's write-path counters.
+// Stats snapshots the client's data-path counters.
 func (c *Client) Stats() ClientStats {
 	return ClientStats{
 		WriteRPCs:     c.writeRPCs.Value(),
 		WriteVRPCs:    c.writeVRPCs.Value(),
 		WriteVExtents: c.writeVExtents.Value(),
+		ReadRPCs:      c.readRPCs.Value(),
+		ReadVRPCs:     c.readVRPCs.Value(),
+		ReadVExtents:  c.readVExtents.Value(),
+		ReadPrimary:   c.readPrimary.Value(),
+		ReadBackup:    c.readBackup.Value(),
 	}
 }
+
+// ReadRPCTotal is the total Petal read round trips this client has
+// issued, counting a scatter-gather batch as one RPC.
+func (s ClientStats) ReadRPCTotal() int64 { return s.ReadRPCs + s.ReadVRPCs }
 
 // ClientAddr returns the network name of a machine's Petal driver.
 func ClientAddr(machine string) string { return machine + ".petalc" }
@@ -86,20 +129,43 @@ func NewClientWithCarrier(w *sim.World, machine string, servers []string, carrie
 		servers:       append([]string(nil), servers...),
 		opDeadline:    30 * time.Second,
 		parallelism:   8,
+		randIntn:      w.RandIntn,
 		writeRPCs:     obs.NewCounter(),
 		writeVRPCs:    obs.NewCounter(),
 		writeVExtents: obs.NewCounter(),
+		readRPCs:      obs.NewCounter(),
+		readVRPCs:     obs.NewCounter(),
+		readVExtents:  obs.NewCounter(),
+		readPrimary:   obs.NewCounter(),
+		readBackup:    obs.NewCounter(),
+		balancePct:    obs.NewGauge(),
+		infl:          make(map[string]*obs.Gauge, len(servers)),
 	}
+	c.balanceReads.Store(1)
 	if reg := w.Obs; reg != nil {
 		c.writeRPCs = reg.Counter("petal.write.rpcs#" + machine)
 		c.writeVRPCs = reg.Counter("petal.writev.rpcs#" + machine)
 		c.writeVExtents = reg.Counter("petal.writev.extents#" + machine)
+		c.readRPCs = reg.Counter("petal.read.rpcs#" + machine)
+		c.readVRPCs = reg.Counter("petal.readv.rpcs#" + machine)
+		c.readVExtents = reg.Counter("petal.readv.extents#" + machine)
+		c.readPrimary = reg.Counter("petal.read.primary#" + machine)
+		c.readBackup = reg.Counter("petal.read.backup#" + machine)
+		c.balancePct = reg.Gauge("petal.read.balance.pct#" + machine)
+		for _, s := range servers {
+			c.infl[s] = reg.Gauge("petal.client.inflight#" + machine + "." + s)
+		}
 		c.now = reg.Now
 		c.tr = reg.Tracer()
 		c.opLats = map[string]*obs.Histogram{
 			"read":   reg.Histogram("petal.read.latency#" + machine),
+			"readv":  reg.Histogram("petal.readv.latency#" + machine),
 			"write":  reg.Histogram("petal.write.latency#" + machine),
 			"writev": reg.Histogram("petal.writev.latency#" + machine),
+		}
+	} else {
+		for _, s := range servers {
+			c.infl[s] = obs.NewGauge()
 		}
 	}
 	c.ep = rpc.NewEndpoint(ClientAddr(machine), carrier, w.Clock, nil)
@@ -183,31 +249,138 @@ func (c *Client) getState() (GlobalState, error) {
 	return c.state, nil
 }
 
-// targets returns the replica servers for a chunk in preference
-// order: alive primary, then alive backup, then both regardless (the
-// state may be stale).
-func (c *Client) targets(st GlobalState, v VDiskID, chunk int64) []string {
-	p1, p2 := st.replicas(v, chunk)
-	var out []string
-	add := func(s string, mustBeAlive bool) {
-		if s == "" {
-			return
-		}
-		if mustBeAlive && !st.Alive[s] {
-			return
-		}
-		for _, x := range out {
-			if x == s {
-				return
-			}
-		}
-		out = append(out, s)
+// targetList holds replica routing candidates without heap
+// allocation: a chunk has at most two replicas, each of which can
+// appear once alive-filtered and once unconditionally.
+type targetList struct {
+	srv [4]string
+	n   int
+}
+
+func (t *targetList) add(s string, alive map[string]bool, mustBeAlive bool) {
+	if s == "" {
+		return
 	}
-	add(p1, true)
-	add(p2, true)
-	add(p1, false)
-	add(p2, false)
-	return out
+	if mustBeAlive && !alive[s] {
+		return
+	}
+	for i := 0; i < t.n; i++ {
+		if t.srv[i] == s {
+			return
+		}
+	}
+	t.srv[t.n] = s
+	t.n++
+}
+
+// list returns the candidates in preference order.
+func (t *targetList) list() []string { return t.srv[:t.n] }
+
+// targets fills tl with the replica servers for a chunk in write and
+// failover preference order: alive primary, then alive backup, then
+// both regardless (the state may be stale). The caller supplies the
+// targetList so the hot path stays allocation-free.
+func (c *Client) targets(st *GlobalState, v VDiskID, chunk int64, tl *targetList) {
+	p1, p2 := st.replicas(v, chunk)
+	tl.n = 0
+	tl.add(p1, st.Alive, true)
+	tl.add(p2, st.Alive, true)
+	tl.add(p1, st.Alive, false)
+	tl.add(p2, st.Alive, false)
+}
+
+// SetReadBalance toggles read load balancing across replicas. On (the
+// default), first-choice read routing spreads over both alive copies;
+// off, reads always prefer the primary — the pre-optimization
+// behaviour, kept as a benchmark baseline.
+func (c *Client) SetReadBalance(on bool) {
+	var v int32
+	if on {
+		v = 1
+	}
+	c.balanceReads.Store(v)
+}
+
+// readTargets fills tl with replica candidates for a read. When both
+// replicas are alive and balancing is on, the first choice is the
+// replica with fewer of this client's RPCs outstanding (Petal serves
+// reads from either copy); ties alternate round-robin. The losing
+// replica stays second, so per-extent failover still reaches every
+// copy, and writes keep the primary-first order from targets.
+func (c *Client) readTargets(st *GlobalState, v VDiskID, chunk int64, tl *targetList) {
+	p1, p2 := st.replicas(v, chunk)
+	if c.balanceReads.Load() == 0 || p1 == "" || p2 == "" || p1 == p2 ||
+		!st.Alive[p1] || !st.Alive[p2] {
+		c.targets(st, v, chunk, tl)
+		return
+	}
+	first, second := p1, p2
+	o1, o2 := c.infl[p1].Value(), c.infl[p2].Value()
+	if o2 < o1 || (o1 == o2 && c.rr.Add(1)%2 == 1) {
+		first, second = p2, p1
+	}
+	if first == p1 {
+		c.readPrimary.Add(1)
+	} else {
+		c.readBackup.Add(1)
+	}
+	if p, b := c.readPrimary.Value(), c.readBackup.Value(); p+b > 0 {
+		c.balancePct.Set(b * 100 / (p + b))
+	}
+	tl.n = 0
+	tl.add(first, st.Alive, false)
+	tl.add(second, st.Alive, false)
+}
+
+// Retry backoff for chunk operations: exponential from retryBase,
+// capped at retryCap, with jitter in [d/2, d) so clients hammering a
+// recovering server decorrelate. The fixed 100 ms pause this replaces
+// both overloaded servers during short outages (every client retried
+// in lockstep) and wasted most of the window when routing recovered
+// quickly.
+const (
+	retryBase = 10 * time.Millisecond
+	retryCap  = 640 * time.Millisecond
+)
+
+// backoffDelay computes the pause before retry number attempt
+// (0-based): exponential growth capped at retryCap, jittered into
+// [d/2, d) when a randomness source is supplied.
+func backoffDelay(attempt int, randIntn func(int) int) sim.Duration {
+	d := retryBase
+	for i := 0; i < attempt && d < retryCap; i++ {
+		d *= 2
+	}
+	if d > retryCap {
+		d = retryCap
+	}
+	if randIntn != nil {
+		d = d/2 + sim.Duration(randIntn(int(d/2)))
+	}
+	return d
+}
+
+// retryPause sleeps before retry number attempt, never past deadline.
+func (c *Client) retryPause(attempt int, deadline sim.Time) {
+	d := backoffDelay(attempt, c.randIntn)
+	left := sim.Duration(deadline - c.clock.Now())
+	if left <= 0 {
+		return
+	}
+	if d > left {
+		d = left
+	}
+	c.clock.Sleep(d)
+}
+
+// call issues one data-path RPC, tracking the per-server outstanding
+// gauge that read routing balances on.
+func (c *Client) call(srv string, req any, timeout sim.Duration) (any, error) {
+	g := c.infl[srv]
+	g.Add(1)
+	resp, err := c.ep.Call(DataAddr(srv), req, timeout)
+	g.Add(-1)
+	return resp, err
 }
 
 // readChunk performs one intra-chunk read with failover and state
@@ -215,11 +388,14 @@ func (c *Client) targets(st GlobalState, v VDiskID, chunk int64) []string {
 func (c *Client) readChunk(v VDiskID, chunk int64, off, length int, dst []byte) error {
 	deadline := c.clock.Now() + sim.Time(c.opDeadline)
 	var lastErr error
-	for {
+	var tl targetList
+	for attempt := 0; ; attempt++ {
 		st, err := c.getState()
 		if err == nil {
-			for _, srv := range c.targets(st, v, chunk) {
-				resp, err := c.ep.Call(DataAddr(srv), ReadReq{VDisk: v, Chunk: chunk, Off: off, Len: length}, dataTimeout)
+			c.readTargets(&st, v, chunk, &tl)
+			for _, srv := range tl.list() {
+				c.readRPCs.Add(1)
+				resp, err := c.call(srv, ReadReq{VDisk: v, Chunk: chunk, Off: off, Len: length}, dataTimeout)
 				if err != nil {
 					lastErr = err
 					continue
@@ -253,7 +429,7 @@ func (c *Client) readChunk(v VDiskID, chunk int64, off, length int, dst []byte) 
 			return ErrUnavailable
 		}
 		_ = c.refreshState()
-		c.clock.Sleep(100 * time.Millisecond)
+		c.retryPause(attempt, deadline)
 	}
 }
 
@@ -293,7 +469,8 @@ func (c *Client) writeChunkSnap(v VDiskID, chunk int64, off int, snap []byte, le
 		req.ExpireAt, req.LeaseID = li()
 	}
 	deadline := c.clock.Now() + sim.Time(c.opDeadline)
-	for {
+	var tl targetList
+	for attempt := 0; ; attempt++ {
 		st, err := c.getState()
 		if err == nil {
 			// Stamp the epoch we are writing at so replicas lagging a
@@ -304,9 +481,10 @@ func (c *Client) writeChunkSnap(v VDiskID, chunk int64, off int, snap []byte, le
 			} else {
 				req.Epoch = 0
 			}
-			for _, srv := range c.targets(st, v, chunk) {
+			c.targets(&st, v, chunk, &tl)
+			for _, srv := range tl.list() {
 				c.writeRPCs.Add(1)
-				resp, err := c.ep.Call(DataAddr(srv), req, dataTimeout)
+				resp, err := c.call(srv, req, dataTimeout)
 				if err != nil {
 					// The message may still be queued at the carrier and
 					// delivered later; the snapshot cannot be recycled.
@@ -335,7 +513,7 @@ func (c *Client) writeChunkSnap(v VDiskID, chunk int64, off int, snap []byte, le
 			return ErrUnavailable
 		}
 		_ = c.refreshState()
-		c.clock.Sleep(100 * time.Millisecond)
+		c.retryPause(attempt, deadline)
 	}
 }
 
@@ -406,15 +584,161 @@ func (c *Client) forEachSpan(sp []span, f func(span) error) error {
 }
 
 // Read fills p from the virtual disk at byte offset off. Uncommitted
-// ranges read as zeros.
+// ranges read as zeros. Reads spanning several chunks go through the
+// scatter-gather engine, so chunk spans that route to the same server
+// collapse into one ReadVReq.
 func (c *Client) Read(v VDiskID, off int64, p []byte) error {
 	if off < 0 {
 		return ErrBounds
 	}
 	return c.instr("read", func() error {
-		return c.forEachSpan(spans(off, len(p)), func(s span) error {
-			return c.readChunk(v, s.chunk, s.off, s.length, p[s.bufOff:s.bufOff+s.length])
-		})
+		sp := spans(off, len(p))
+		if len(sp) <= 1 {
+			if len(sp) == 0 {
+				return nil
+			}
+			return c.readChunk(v, sp[0].chunk, sp[0].off, sp[0].length, p[:sp[0].length])
+		}
+		all := make([]rspan, len(sp))
+		for i, s := range sp {
+			all[i] = rspan{chunk: s.chunk, off: s.off, dst: p[s.bufOff : s.bufOff+s.length]}
+		}
+		return c.readRspans(v, all)
+	})
+}
+
+// ReadExtent is one destination range of a scatter-gather read: Dst
+// is filled from byte offset Off of the virtual disk.
+type ReadExtent struct {
+	Off int64
+	Dst []byte
+}
+
+// rspan is one chunk-local piece of a scatter-gather read.
+type rspan struct {
+	chunk int64
+	off   int
+	dst   []byte
+}
+
+// Per-request caps for batched reads, mirroring the write-path caps:
+// bound one RPC's simulated transfer time well under its timeout and
+// keep message sizes sane.
+const (
+	readVMaxBytes   = 1 << 20
+	readVMaxExtents = 256
+	readVTimeout    = 15 * time.Second
+)
+
+// ReadV fills every extent's Dst, batching the reads into as few
+// server round trips as possible: extents are split at chunk
+// boundaries, grouped by their balanced read target, and dispatched
+// with bounded parallelism. Extents a batch could not serve (replica
+// failure, stale routing) fall over individually through the
+// per-chunk read path, so ReadV is exactly as robust as issuing the
+// extents through Read, and a failed extent never leaves stale bytes
+// in its destination.
+func (c *Client) ReadV(v VDiskID, extents []ReadExtent) error {
+	for _, e := range extents {
+		if e.Off < 0 {
+			return ErrBounds
+		}
+	}
+	return c.instr("readv", func() error {
+		var all []rspan
+		for _, e := range extents {
+			for _, s := range spans(e.Off, len(e.Dst)) {
+				all = append(all, rspan{chunk: s.chunk, off: s.off, dst: e.Dst[s.bufOff : s.bufOff+s.length]})
+			}
+		}
+		return c.readRspans(v, all)
+	})
+}
+
+// readRspans is the scatter-gather read engine shared by Read and
+// ReadV.
+func (c *Client) readRspans(v VDiskID, all []rspan) error {
+	if len(all) == 0 {
+		return nil
+	}
+	if len(all) == 1 {
+		return c.readChunk(v, all[0].chunk, all[0].off, len(all[0].dst), all[0].dst)
+	}
+	st, err := c.getState()
+	if err != nil {
+		// No routing state: the per-chunk path refreshes and retries.
+		return c.readFallback(v, all)
+	}
+	// Group spans by their balanced read target, splitting oversized
+	// groups into size-capped batches.
+	groups := make(map[string][]rspan)
+	var tl targetList
+	for _, sp := range all {
+		c.readTargets(&st, v, sp.chunk, &tl)
+		if tl.n == 0 {
+			return ErrUnavailable
+		}
+		groups[tl.srv[0]] = append(groups[tl.srv[0]], sp)
+	}
+	type batch struct {
+		srv string
+		sps []rspan
+	}
+	var batches []batch
+	for srv, sps := range groups {
+		cur := batch{srv: srv}
+		bytes := 0
+		for _, sp := range sps {
+			if len(cur.sps) > 0 && (bytes+len(sp.dst) > readVMaxBytes || len(cur.sps) >= readVMaxExtents) {
+				batches = append(batches, cur)
+				cur = batch{srv: srv}
+				bytes = 0
+			}
+			cur.sps = append(cur.sps, sp)
+			bytes += len(sp.dst)
+		}
+		batches = append(batches, cur)
+	}
+	return boundedPar(c.parallelism, batches, func(b batch) error {
+		exts := make([]ReadVExtent, len(b.sps))
+		for i, sp := range b.sps {
+			exts[i] = ReadVExtent{Chunk: sp.chunk, Off: sp.off, Len: len(sp.dst)}
+		}
+		c.readVRPCs.Add(1)
+		c.readVExtents.Add(int64(len(exts)))
+		resp, err := c.call(b.srv, ReadVReq{VDisk: v, Extents: exts}, readVTimeout)
+		if err == nil {
+			if rr, ok := resp.(ReadVResp); ok && rr.OK && len(rr.Results) == len(b.sps) {
+				var failed []rspan
+				for i, res := range rr.Results {
+					if !res.OK {
+						// Leave dst untouched here; the fallback fills
+						// (or zeroes) it from the other replica.
+						failed = append(failed, b.sps[i])
+						continue
+					}
+					n := copy(b.sps[i].dst, res.Data)
+					clear(b.sps[i].dst[n:])
+				}
+				if len(failed) == 0 {
+					return nil
+				}
+				// Per-extent failover: only the damaged extents retry
+				// through the per-chunk path; served data is kept.
+				return c.readFallback(v, failed)
+			}
+		}
+		// Server down, lagging, or unknown vdisk: per-chunk reads sort
+		// it out with the usual failover and state refresh.
+		return c.readFallback(v, b.sps)
+	})
+}
+
+// readFallback reads chunk spans one by one through the failover
+// path, with bounded parallelism.
+func (c *Client) readFallback(v VDiskID, sps []rspan) error {
+	return boundedPar(c.parallelism, sps, func(sp rspan) error {
+		return c.readChunk(v, sp.chunk, sp.off, len(sp.dst), sp.dst)
 	})
 }
 
@@ -501,12 +825,13 @@ func (c *Client) writeV(v VDiskID, extents []Extent) error {
 	// Group spans by primary replica, splitting oversized groups into
 	// size-capped batches.
 	groups := make(map[string][]wspan)
+	var tl targetList
 	for _, sp := range all {
-		tg := c.targets(st, v, sp.chunk)
-		if len(tg) == 0 {
+		c.targets(&st, v, sp.chunk, &tl)
+		if tl.n == 0 {
 			return ErrUnavailable
 		}
-		groups[tg[0]] = append(groups[tg[0]], sp)
+		groups[tl.srv[0]] = append(groups[tl.srv[0]], sp)
 	}
 	type batch struct {
 		srv string
@@ -535,7 +860,7 @@ func (c *Client) writeV(v VDiskID, extents []Extent) error {
 		req := WriteVReq{VDisk: v, Extents: exts, ExpireAt: expireAt, LeaseID: leaseID, Epoch: epoch}
 		c.writeVRPCs.Add(1)
 		c.writeVExtents.Add(int64(len(exts)))
-		resp, err := c.ep.Call(DataAddr(b.srv), req, writeVTimeout)
+		resp, err := c.call(b.srv, req, writeVTimeout)
 		if err == nil {
 			if wr, ok := resp.(WriteVResp); ok {
 				if wr.OK {
@@ -680,3 +1005,6 @@ func (d *VDisk) WriteAt(p []byte, off int64) error { return d.c.Write(d.id, off,
 
 // WriteV stores a set of extents with one scatter-gather call.
 func (d *VDisk) WriteV(extents []Extent) error { return d.c.WriteV(d.id, extents) }
+
+// ReadV fills a set of extents with one scatter-gather call.
+func (d *VDisk) ReadV(extents []ReadExtent) error { return d.c.ReadV(d.id, extents) }

@@ -84,6 +84,39 @@ type (
 		Err  string
 		Data []byte
 	}
+	// ReadVExtent asks for Len bytes at Off within one chunk — one
+	// piece of a scatter-gather read.
+	ReadVExtent struct {
+		Chunk int64
+		Off   int
+		Len   int
+	}
+	// ReadVExtentResult is one extent's outcome: data, a hole (OK with
+	// nil Data), or a replica-local error the client fails over
+	// per-extent.
+	ReadVExtentResult struct {
+		OK   bool
+		Err  string
+		Data []byte
+	}
+	// ReadVReq is a multi-extent read: the server resolves the vdisk
+	// once and serves every extent from its local store, so one round
+	// trip carries a whole run of cache misses or a batch of inode
+	// blocks.
+	ReadVReq struct {
+		VDisk   VDiskID
+		Extents []ReadVExtent
+	}
+	// ReadVResp carries per-extent results, index-aligned with the
+	// request. Batch-level Err is only set when the whole request could
+	// not be served (e.g. unknown vdisk); extent-local failures (a CRC
+	// error on one chunk) come back in Results so the other extents'
+	// data is not thrown away.
+	ReadVResp struct {
+		OK      bool
+		Err     string
+		Results []ReadVExtentResult
+	}
 	// WriteReq writes Data at Off within one chunk. Forwarded marks
 	// replica-to-replica propagation. ExpireAt optionally carries the
 	// writer's lease expiration (simulated ns); servers configured
@@ -201,6 +234,16 @@ type (
 
 // WireSize reports the payload size of a read response.
 func (r ReadResp) WireSize() int { return len(r.Data) }
+
+// WireSize reports the total payload size of a scatter-gather read
+// response.
+func (r ReadVResp) WireSize() int {
+	n := 0
+	for _, e := range r.Results {
+		n += len(e.Data)
+	}
+	return n
+}
 
 // WireSize reports the payload size of a write request.
 func (w WriteReq) WireSize() int { return len(w.Data) }

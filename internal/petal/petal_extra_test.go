@@ -12,6 +12,10 @@ func TestNoReplicateAblation(t *testing.T) {
 	tc := newTestCluster(t, 3, func(cfg *ServerConfig) {
 		cfg.NoReplicate = true
 	})
+	// Single-copy writes leave the backup replica empty; balanced
+	// reads would see its holes. Primary-only reads, as the knob's
+	// users (the Figure 7 ablation) configure.
+	tc.client.SetReadBalance(false)
 	d := tc.mustCreate(t, "vol")
 	if err := d.WriteAt(patternBuf(ChunkSize, 4), 0); err != nil {
 		t.Fatal(err)

@@ -206,6 +206,8 @@ func (s *Server) handle(from string, body any) any {
 	switch m := body.(type) {
 	case ReadReq:
 		return s.spanned("server.read", func() any { return s.onRead(m) })
+	case ReadVReq:
+		return s.spanned("server.readv", func() any { return s.onReadV(m) })
 	case WriteReq:
 		return s.spanned("server.write", func() any { return s.onWrite(m, from) })
 	case WriteVReq:
@@ -353,6 +355,57 @@ func (s *Server) onRead(m ReadReq) ReadResp {
 		return ReadResp{OK: true, Data: nil} // hole: reads as zeros
 	}
 	return ReadResp{OK: true, Data: data}
+}
+
+// readVServePar bounds concurrent store reads while serving one
+// scatter-gather read; the disk arms serialize actual media time.
+const readVServePar = 16
+
+// onReadV serves a scatter-gather read: the vdisk resolves once, then
+// every extent is read from the local store with bounded parallelism.
+// Reads don't modify anything, so unlike applyExtents no conflict
+// chaining is needed. Extent failures (e.g. a CRC error) are reported
+// per extent so the client can fail over only the damaged pieces.
+func (s *Server) onReadV(m ReadVReq) ReadVResp {
+	total := 0
+	for _, e := range m.Extents {
+		total += e.Len
+	}
+	s.chargeCPU(total)
+	s.mu.Lock()
+	base, ceiling, _, err := s.state.resolve(m.VDisk)
+	s.mu.Unlock()
+	if err != nil {
+		return ReadVResp{Err: err.Error()}
+	}
+	results := make([]ReadVExtentResult, len(m.Extents))
+	sem := make(chan struct{}, readVServePar)
+	var wg sync.WaitGroup
+	for i := range m.Extents {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			e := m.Extents[i]
+			if e.Off < 0 || e.Len < 0 || e.Off+e.Len > ChunkSize {
+				results[i] = ReadVExtentResult{Err: ErrBounds.Error()}
+				return
+			}
+			data, committed, err := s.st.readChunk(base, e.Chunk, ceiling, e.Off, e.Len)
+			if err != nil {
+				results[i] = ReadVExtentResult{Err: err.Error()}
+				return
+			}
+			if !committed {
+				results[i] = ReadVExtentResult{OK: true} // hole: reads as zeros
+				return
+			}
+			results[i] = ReadVExtentResult{OK: true, Data: data}
+		}(i)
+	}
+	wg.Wait()
+	return ReadVResp{OK: true, Results: results}
 }
 
 // resolveWriteEpoch maps a vdisk to its writable (base, ceiling)

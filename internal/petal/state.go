@@ -151,6 +151,14 @@ func (g *GlobalState) replicas(v VDiskID, chunk int64) (primary, backup string) 
 	return g.Servers[i], g.Servers[(i+1)%n]
 }
 
+// Replicas exposes the placement function: the (primary, backup)
+// pair holding a chunk. Placement-aware tooling and benchmarks (e.g.
+// crafting a worst-case hot-primary chunk set) use it; the data path
+// goes through the unexported form.
+func (g *GlobalState) Replicas(v VDiskID, chunk int64) (primary, backup string) {
+	return g.replicas(v, chunk)
+}
+
 // resolve maps a vdisk to the (base vdisk, epoch ceiling, writable)
 // triple used by the storage layer. For an ordinary disk the ceiling
 // is its current epoch; for a snapshot it is the frozen epoch of its

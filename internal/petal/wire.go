@@ -9,6 +9,7 @@ import "frangipani/internal/rpc"
 func init() {
 	for _, v := range []any{
 		ReadReq{}, ReadResp{},
+		ReadVExtent{}, ReadVExtentResult{}, ReadVReq{}, ReadVResp{},
 		WriteReq{}, WriteResp{},
 		WriteVExtent{}, WriteVReq{}, WriteVResp{},
 		DecommitReq{},
