@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke
+.PHONY: check vet build test race bench bench-smoke bench-codec
 
 ## check: the tier-1 gate — vet, build, and race-enabled tests.
 check: vet build race
@@ -26,6 +26,17 @@ bench:
 ## read-scaling experiment's in-experiment assertions (balanced reads
 ## >= 1.5x primary-only; ReadDirPlus <= 50% of the stat scan's read
 ## RPCs) fail.
+## The codec-budget test additionally asserts the wire codec beats the
+## gob baseline by >= 5x allocs/op and >= 2x ns/op on 1 MB WriteV/ReadV
+## (encode must be 0 allocs/op), and codec-mux asserts >= 2 concurrent
+## in-flight RPC streams share one TCP connection.
 bench-smoke:
 	$(GO) run ./cmd/frangibench -quick -exp obs-smoke
 	$(GO) run ./cmd/frangibench -quick -exp read-scaling
+	CODEC_BUDGET=1 $(GO) test -run TestCodecBudget -count=1 ./internal/rpc/
+	$(GO) run ./cmd/frangibench -quick -exp codec-mux
+
+## bench-codec: raw codec-vs-gob microbenchmarks with allocation counts.
+bench-codec:
+	$(GO) test -bench=Codec -benchmem -run '^$$' ./internal/rpc/...
+	$(GO) test -bench=Gob -benchmem -run '^$$' ./internal/rpc/...

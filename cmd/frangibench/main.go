@@ -29,6 +29,7 @@ var names = []string{
 	"fig5", "fig6", "fig7", "fig7-norepl", "fig8", "fig9",
 	"wshare", "smallreads", "ablation-synclog", "writeback-pipeline",
 	"read-scaling", "obs-overhead", "obs-smoke", "contention-profile",
+	"codec-mux",
 }
 
 func main() {

@@ -511,6 +511,7 @@ func (o Options) All() ([]*Table, error) {
 		{"read-scaling", o.ReadScaling},
 		{"obs-overhead", o.ObsOverhead},
 		{"obs-smoke", o.ObsSmoke},
+		{"codec-mux", o.CodecMux},
 	}
 	var out []*Table
 	for _, e := range exps {
@@ -560,6 +561,8 @@ func (o Options) ByName(name string) (*Table, error) {
 		return o.ObsSmoke()
 	case "contention-profile":
 		return o.ContentionProfile()
+	case "codec-mux":
+		return o.CodecMux()
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q", name)
 }

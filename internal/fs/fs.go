@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"frangipani/internal/bufpool"
 	"frangipani/internal/cache"
 	"frangipani/internal/lockservice"
 	"frangipani/internal/obs"
@@ -565,7 +566,11 @@ func (fs *FS) readMeta(addr int64, owner uint64) (*cache.Entry, error) {
 	var entry *cache.Entry
 	var err error
 	obs.With(sp, func() {
-		buf := make([]byte, SectorSize)
+		// Pooled scratch: Insert copies into the cache's own page, so
+		// the fill buffer recycles immediately.
+		bufp := bufpool.Get(SectorSize)
+		defer bufpool.Put(bufp)
+		buf := *bufp
 		if err = fs.pc.Read(fs.vd, addr, buf); err == nil {
 			entry = fs.meta.Insert(addr, buf, owner)
 		}
@@ -600,7 +605,9 @@ func (fs *FS) readMetaBatch(fills []metaFill) error {
 	defer sp.Done()
 	var err error
 	obs.With(sp, func() {
-		bufs := make([]byte, len(miss)*SectorSize)
+		bufsp := bufpool.Get(len(miss) * SectorSize)
+		defer bufpool.Put(bufsp)
+		bufs := *bufsp
 		exts := make([]petal.ReadExtent, len(miss))
 		for i := range miss {
 			exts[i] = petal.ReadExtent{Off: miss[i].addr, Dst: bufs[i*SectorSize : (i+1)*SectorSize]}
@@ -663,7 +670,9 @@ func (fs *FS) readDataRun(addr int64, count int, owner uint64) (*cache.Entry, er
 		var err error
 		sp := fs.tr.Child("cache", "fill")
 		obs.With(sp, func() {
-			buf := make([]byte, n*BlockSize)
+			bufp := bufpool.Get(n * BlockSize)
+			defer bufpool.Put(bufp)
+			buf := *bufp
 			err = fs.pc.Read(fs.vd, addr, buf)
 			if err == nil {
 				fs.m.bytesRead.Add(int64(len(buf)))

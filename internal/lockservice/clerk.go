@@ -2,7 +2,6 @@ package lockservice
 
 import (
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"frangipani/internal/obs"
@@ -703,33 +702,52 @@ func (c *Clerk) renew() {
 	lease := c.leaseID
 	c.mu.Unlock()
 
-	var wg sync.WaitGroup
-	var invalid int32
+	// Fan out to every server concurrently and settle as soon as the
+	// outcome is decided at majority rank: ExpiresAt is fixed once a
+	// majority of fresh acks has landed, whatever the stragglers do,
+	// so one slow or dead server no longer holds the renewal loop for
+	// its full timeout. Stragglers keep running in the background and
+	// still record their acks (each goroutine updates c.acks before
+	// reporting, so acks counted here are visible to ExpiresAt below).
+	type result struct{ acked, invalid bool }
+	results := make(chan result, len(c.servers))
 	for _, s := range c.servers {
-		wg.Add(1)
 		go func(s string) {
-			defer wg.Done()
 			r, err := c.ep.Call(Addr(s), RenewMsg{Clerk: c.machine, LeaseID: lease}, c.cfg.LeaseDuration/3)
 			if err != nil {
+				results <- result{}
 				return
 			}
 			if ack, ok := r.(RenewAck); ok && ack.LeaseID == lease {
 				if !ack.Valid {
-					atomic.AddInt32(&invalid, 1)
+					results <- result{invalid: true}
 					return
 				}
 				c.mu.Lock()
 				c.acks[ack.Server] = c.w.Clock.Now()
 				c.mu.Unlock()
+				results <- result{acked: true}
+				return
 			}
+			results <- result{}
 		}(s)
 	}
-	wg.Wait()
+	majority := len(c.servers)/2 + 1
+	acked, invalid := 0, 0
+	for done := 0; done < len(c.servers) && acked < majority && invalid < majority; done++ {
+		r := <-results
+		if r.acked {
+			acked++
+		}
+		if r.invalid {
+			invalid++
+		}
+	}
 
 	// A majority of servers positively disowning the session means it
 	// was expired and recovered while we were stalled: the lease is
 	// gone, whatever our ack arithmetic says.
-	if int(invalid) >= len(c.servers)/2+1 {
+	if invalid >= majority {
 		c.trace("lease invalidated by majority")
 		c.loseLease()
 		return

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"frangipani/internal/bufpool"
 	"frangipani/internal/obs"
 	"frangipani/internal/rpc"
 	"frangipani/internal/sim"
@@ -405,6 +406,7 @@ func (c *Client) readChunk(v VDiskID, chunk int64, off, length int, dst []byte) 
 					continue
 				}
 				if !rr.OK {
+					rpc.Release(rr)
 					if rr.Err == ErrNoSuchVDisk.Error() {
 						// Possibly stale directory: refresh and retry.
 						break
@@ -419,6 +421,9 @@ func (c *Client) readChunk(v VDiskID, chunk int64, off, length int, dst []byte) 
 				// stale bytes in the tail of dst.
 				n := copy(dst, rr.Data)
 				clear(dst[n:])
+				// On TCP the data aliases a pooled receive buffer;
+				// recycle it now that it has been copied out.
+				rpc.Release(rr)
 				return nil
 			}
 		}
@@ -433,29 +438,22 @@ func (c *Client) readChunk(v VDiskID, chunk int64, off, length int, dst []byte) 
 	}
 }
 
-// writeBufPool recycles chunk-sized snapshot buffers for the write
-// path: every cache-page flush used to allocate a fresh copy.
-var writeBufPool = sync.Pool{
-	New: func() any {
-		b := make([]byte, ChunkSize)
-		return &b
-	},
-}
-
 // writeChunk performs one intra-chunk write with failover.
 func (c *Client) writeChunk(v VDiskID, chunk int64, off int, data []byte) error {
 	// The in-memory transport passes payloads by reference and the
 	// caller may keep mutating its buffer (e.g. a cache page) after we
 	// return; snapshot the bytes here, where a real driver would DMA.
-	bufp := writeBufPool.Get().(*[]byte)
-	snap := (*bufp)[:len(data)]
+	// The snapshot comes from the shared size-classed pool, so the
+	// write path recycles a small working set of chunk buffers.
+	bufp := bufpool.Get(len(data))
+	snap := *bufp
 	copy(snap, data)
 	leaked := false
 	err := c.writeChunkSnap(v, chunk, off, snap, &leaked)
 	if !leaked {
 		// No call attempt timed out, so no in-flight message can still
 		// reference the snapshot; safe to recycle.
-		writeBufPool.Put(bufp)
+		bufpool.Put(bufp)
 	}
 	return err
 }
@@ -708,24 +706,30 @@ func (c *Client) readRspans(v VDiskID, all []rspan) error {
 		c.readVExtents.Add(int64(len(exts)))
 		resp, err := c.call(b.srv, ReadVReq{VDisk: v, Extents: exts}, readVTimeout)
 		if err == nil {
-			if rr, ok := resp.(ReadVResp); ok && rr.OK && len(rr.Results) == len(b.sps) {
-				var failed []rspan
-				for i, res := range rr.Results {
-					if !res.OK {
-						// Leave dst untouched here; the fallback fills
-						// (or zeroes) it from the other replica.
-						failed = append(failed, b.sps[i])
-						continue
+			if rr, ok := resp.(ReadVResp); ok {
+				if rr.OK && len(rr.Results) == len(b.sps) {
+					var failed []rspan
+					for i, res := range rr.Results {
+						if !res.OK {
+							// Leave dst untouched here; the fallback fills
+							// (or zeroes) it from the other replica.
+							failed = append(failed, b.sps[i])
+							continue
+						}
+						n := copy(b.sps[i].dst, res.Data)
+						clear(b.sps[i].dst[n:])
 					}
-					n := copy(b.sps[i].dst, res.Data)
-					clear(b.sps[i].dst[n:])
+					// All extent data has been copied out; recycle the
+					// pooled receive buffer it aliased on TCP.
+					rpc.Release(rr)
+					if len(failed) == 0 {
+						return nil
+					}
+					// Per-extent failover: only the damaged extents retry
+					// through the per-chunk path; served data is kept.
+					return c.readFallback(v, failed)
 				}
-				if len(failed) == 0 {
-					return nil
-				}
-				// Per-extent failover: only the damaged extents retry
-				// through the per-chunk path; served data is kept.
-				return c.readFallback(v, failed)
+				rpc.Release(rr)
 			}
 		}
 		// Server down, lagging, or unknown vdisk: per-chunk reads sort

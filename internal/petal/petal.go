@@ -18,6 +18,8 @@ package petal
 import (
 	"errors"
 	"fmt"
+
+	"frangipani/internal/rpc"
 )
 
 // ChunkSize is Petal's commit/decommit granularity: "To keep its
@@ -78,11 +80,15 @@ type (
 		Off   int
 		Len   int
 	}
-	// ReadResp carries data or an error string.
+	// ReadResp carries data or an error string. When decoded from the
+	// TCP carrier's fast codec, Data aliases a pooled receive buffer
+	// (wb); the consumer releases it with rpc.Release after copying
+	// the data out. gob ignores the unexported field.
 	ReadResp struct {
 		OK   bool
 		Err  string
 		Data []byte
+		wb   *rpc.RecvBuf
 	}
 	// ReadVExtent asks for Len bytes at Off within one chunk — one
 	// piece of a scatter-gather read.
@@ -112,10 +118,13 @@ type (
 	// not be served (e.g. unknown vdisk); extent-local failures (a CRC
 	// error on one chunk) come back in Results so the other extents'
 	// data is not thrown away.
+	// Per-extent Data may alias a pooled receive buffer (wb), as in
+	// ReadResp.
 	ReadVResp struct {
 		OK      bool
 		Err     string
 		Results []ReadVExtentResult
+		wb      *rpc.RecvBuf
 	}
 	// WriteReq writes Data at Off within one chunk. Forwarded marks
 	// replica-to-replica propagation. ExpireAt optionally carries the
@@ -138,6 +147,10 @@ type (
 		// is told to refresh. Zero bypasses the check (server-local
 		// resolution), used only by in-process tests.
 		Epoch int64
+
+		// wb is the pooled receive buffer Data aliases when the
+		// request was decoded by the TCP fast codec.
+		wb *rpc.RecvBuf
 	}
 	// WriteResp acknowledges a write.
 	WriteResp struct {
@@ -155,6 +168,8 @@ type (
 	// extent under a single lease/epoch check, so one cache-sync round
 	// trip carries many coalesced dirty runs. Lease, epoch, and
 	// forwarding semantics match WriteReq.
+	// Per-extent Data may alias a pooled receive buffer (wb), as in
+	// WriteReq.
 	WriteVReq struct {
 		VDisk     VDiskID
 		Extents   []WriteVExtent
@@ -162,6 +177,7 @@ type (
 		ExpireAt  int64
 		LeaseID   uint64
 		Epoch     int64
+		wb        *rpc.RecvBuf
 	}
 	// WriteVResp acknowledges a scatter-gather write. All extents
 	// applied (OK) or the batch failed at the first bad extent (Err);

@@ -200,6 +200,9 @@ func (s *Server) isDown() bool {
 // handle serves the Petal data and control protocol.
 func (s *Server) handle(from string, body any) any {
 	if s.isDown() {
+		// The request will never be served; recycle any pooled
+		// receive buffer its payload occupies.
+		rpc.Release(body)
 		return nil
 	}
 	s.reqC.Inc()
@@ -445,6 +448,17 @@ func (s *Server) resolveWriteEpoch(v VDiskID, epoch int64) (base VDiskID, ceilin
 }
 
 func (s *Server) onWrite(m WriteReq, from string) WriteResp {
+	// On TCP, m.Data aliases a pooled receive buffer. Once the store
+	// has copied the bytes and any replica forward has completed, the
+	// buffer is recycled — unless a forward timed out, in which case
+	// the payload may still be queued at the carrier and the buffer
+	// must leak to the garbage collector instead.
+	leaked := false
+	defer func() {
+		if !leaked {
+			rpc.Release(m)
+		}
+	}()
 	s.chargeCPU(len(m.Data))
 	if g := s.cfg.WriteGuard; g != nil && !m.Forwarded {
 		if !g(m, int64(s.w.Clock.Now())) {
@@ -462,7 +476,7 @@ func (s *Server) onWrite(m WriteReq, from string) WriteResp {
 		return WriteResp{Err: err.Error()}
 	}
 	if !m.Forwarded && !s.cfg.NoReplicate {
-		s.replicate(st, base, ceiling, m)
+		leaked = s.replicate(st, base, ceiling, m)
 	}
 	return WriteResp{OK: true}
 }
@@ -472,6 +486,13 @@ func (s *Server) onWrite(m WriteReq, from string) WriteResp {
 // local store in order. Replication forwards the extents grouped by
 // partner so the batch stays batched on the replica hop too.
 func (s *Server) onWriteV(m WriteVReq) WriteVResp {
+	// Same pooled-buffer discipline as onWrite.
+	leaked := false
+	defer func() {
+		if !leaked {
+			rpc.Release(m)
+		}
+	}()
 	total := 0
 	for _, e := range m.Extents {
 		total += len(e.Data)
@@ -498,7 +519,7 @@ func (s *Server) onWriteV(m WriteVReq) WriteVResp {
 		return WriteVResp{Err: errStr}
 	}
 	if !m.Forwarded && !s.cfg.NoReplicate {
-		s.replicateV(st, base, ceiling, m)
+		leaked = s.replicateV(st, base, ceiling, m)
 	}
 	return WriteVResp{OK: true}
 }
@@ -574,8 +595,11 @@ func conflictUnits(exts []WriteVExtent) [][]WriteVExtent {
 // replicateV forwards a scatter-gather write to partner replicas,
 // grouped so each partner receives one batched request covering the
 // extents it replicates. Extents whose partner misses the forward are
-// recorded chunk-by-chunk for rejoin/anti-entropy repair.
-func (s *Server) replicateV(st GlobalState, base VDiskID, epoch int64, m WriteVReq) {
+// recorded chunk-by-chunk for rejoin/anti-entropy repair. The
+// returned leaked flag is true when a forward call errored — the
+// request payload may still be queued at the carrier, so the caller
+// must not recycle its buffer.
+func (s *Server) replicateV(st GlobalState, base VDiskID, epoch int64, m WriteVReq) (leaked bool) {
 	byPartner := make(map[string][]WriteVExtent)
 	for _, e := range m.Extents {
 		p1, p2 := st.replicas(base, e.Chunk)
@@ -599,6 +623,8 @@ func (s *Server) replicateV(st GlobalState, base VDiskID, epoch int64, m WriteVR
 				if wr, ok := resp.(WriteVResp); ok && wr.OK {
 					continue
 				}
+			} else {
+				leaked = true
 			}
 		}
 		s.mu.Lock()
@@ -612,18 +638,21 @@ func (s *Server) replicateV(st GlobalState, base VDiskID, epoch int64, m WriteVR
 		}
 		s.mu.Unlock()
 	}
+	return leaked
 }
 
 // replicate forwards a client write to the partner replica, recording
-// a missed write if the partner is down or unreachable.
-func (s *Server) replicate(st GlobalState, base VDiskID, epoch int64, m WriteReq) {
+// a missed write if the partner is down or unreachable. As with
+// replicateV, leaked reports that the forwarded payload may still be
+// queued at the carrier.
+func (s *Server) replicate(st GlobalState, base VDiskID, epoch int64, m WriteReq) (leaked bool) {
 	p1, p2 := st.replicas(base, m.Chunk)
 	partner := p1
 	if p1 == s.name {
 		partner = p2
 	}
 	if partner == "" || partner == s.name {
-		return
+		return false
 	}
 	fw := m
 	fw.Forwarded = true
@@ -635,8 +664,10 @@ func (s *Server) replicate(st GlobalState, base VDiskID, epoch int64, m WriteReq
 		resp, err := s.ep.Call(DataAddr(partner), fw, dataTimeout)
 		if err == nil {
 			if wr, ok := resp.(WriteResp); ok && wr.OK {
-				return
+				return false
 			}
+		} else {
+			leaked = true
 		}
 	}
 	// Partner missed this write; remember the exact chunk key so
@@ -650,6 +681,7 @@ func (s *Server) replicate(st GlobalState, base VDiskID, epoch int64, m WriteReq
 	}
 	mm[key] = true
 	s.mu.Unlock()
+	return leaked
 }
 
 func (s *Server) onDecommit(m DecommitReq) AdminResp {

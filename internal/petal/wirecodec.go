@@ -1,0 +1,411 @@
+package petal
+
+import (
+	"fmt"
+
+	"frangipani/internal/rpc"
+)
+
+// Hand-rolled wire codec for the Petal data path. The eight
+// high-volume message types — Read/Write/ReadV/WriteV requests and
+// replies — implement rpc.WireMessage and register rpc decoders, so
+// on the TCP carrier they bypass gob entirely: headers are appended
+// into a small pooled buffer, payload []byte fields are handed to the
+// carrier as the caller's own slices (zero-copy encode), and decode
+// slices them back out of the single pooled receive buffer
+// (zero-copy decode). Everything else (admin, rejoin, Paxos) stays on
+// the gob escape hatch.
+//
+// Data fields encode their length as uvarint(len<<1 | present) so a
+// nil slice (a hole in a sparse read) round-trips distinct from an
+// empty one. Decoded payload-carrying messages hold the pooled
+// receive buffer and return it via ReleaseWire once the consumer has
+// copied the data out.
+
+// Wire type tags (tag 0 is rpc's gob escape hatch).
+const (
+	TagReadReq byte = iota + 1
+	TagReadResp
+	TagReadVReq
+	TagReadVResp
+	TagWriteReq
+	TagWriteResp
+	TagWriteVReq
+	TagWriteVResp
+)
+
+// appendDataLen appends uvarint(len<<1 | present) for a data slice.
+func appendDataLen(dst []byte, data []byte, present bool) []byte {
+	bits := uint64(len(data)) << 1
+	if present {
+		bits |= 1
+	}
+	return appendUvarint(dst, bits)
+}
+
+// takeData reads a presence-tagged data length from the header cursor
+// and slices the bytes from the payload cursor. A nil slice comes
+// back for absent data.
+func takeData(hc, pc *rpc.Cursor) []byte {
+	bits := hc.Uvarint()
+	if hc.Bad {
+		return nil
+	}
+	if bits&1 == 0 {
+		if bits != 0 {
+			hc.Bad = true // length without presence is malformed
+		}
+		return nil
+	}
+	return pc.Take(int(bits >> 1))
+}
+
+// Tiny local wrappers keep the encoder call sites readable.
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+func appendVarint(dst []byte, v int64) []byte {
+	uv := uint64(v) << 1
+	if v < 0 {
+		uv = ^uv
+	}
+	return appendUvarint(dst, uv)
+}
+
+// ---- ReadReq ----
+
+// WireTag implements rpc.WireMessage.
+func (r ReadReq) WireTag() byte { return TagReadReq }
+
+// AppendWireHeader implements rpc.WireMessage.
+func (r ReadReq) AppendWireHeader(dst []byte) []byte {
+	dst = rpc.AppendString(dst, string(r.VDisk))
+	dst = appendVarint(dst, r.Chunk)
+	dst = appendUvarint(dst, uint64(r.Off))
+	return appendUvarint(dst, uint64(r.Len))
+}
+
+// AppendWirePayloads implements rpc.WireMessage.
+func (r ReadReq) AppendWirePayloads(dst [][]byte) ([][]byte, int) { return dst, 0 }
+
+func decodeReadReq(header, payload []byte, _ *rpc.RecvBuf) (any, bool, error) {
+	hc := rpc.Cursor{Data: header}
+	r := ReadReq{VDisk: VDiskID(hc.String())}
+	r.Chunk = hc.Varint()
+	r.Off = int(hc.Uvarint())
+	r.Len = int(hc.Uvarint())
+	if !hc.Done() || len(payload) != 0 {
+		return nil, false, fmt.Errorf("%w: ReadReq", rpc.ErrBadMessage)
+	}
+	return r, false, nil
+}
+
+// ---- ReadResp ----
+
+// WireTag implements rpc.WireMessage.
+func (r ReadResp) WireTag() byte { return TagReadResp }
+
+// AppendWireHeader implements rpc.WireMessage.
+func (r ReadResp) AppendWireHeader(dst []byte) []byte {
+	dst = rpc.AppendBool(dst, r.OK)
+	dst = rpc.AppendString(dst, r.Err)
+	return appendDataLen(dst, r.Data, r.Data != nil)
+}
+
+// AppendWirePayloads implements rpc.WireMessage.
+func (r ReadResp) AppendWirePayloads(dst [][]byte) ([][]byte, int) {
+	if len(r.Data) == 0 {
+		return dst, 0
+	}
+	return append(dst, r.Data), len(r.Data)
+}
+
+func decodeReadResp(header, payload []byte, rb *rpc.RecvBuf) (any, bool, error) {
+	hc := rpc.Cursor{Data: header}
+	pc := rpc.Cursor{Data: payload}
+	r := ReadResp{OK: hc.Bool(), Err: hc.String()}
+	r.Data = takeData(&hc, &pc)
+	if !hc.Done() || !pc.Done() {
+		return nil, false, fmt.Errorf("%w: ReadResp", rpc.ErrBadMessage)
+	}
+	if len(payload) > 0 {
+		r.wb = rb
+		return r, true, nil
+	}
+	return r, false, nil
+}
+
+// ReleaseWire implements rpc.WireReleaser: it returns the pooled
+// receive buffer the Data field aliases. Idempotent.
+func (r ReadResp) ReleaseWire() { r.wb.Release() }
+
+// ---- ReadVReq ----
+
+// WireTag implements rpc.WireMessage.
+func (r ReadVReq) WireTag() byte { return TagReadVReq }
+
+// AppendWireHeader implements rpc.WireMessage.
+func (r ReadVReq) AppendWireHeader(dst []byte) []byte {
+	dst = rpc.AppendString(dst, string(r.VDisk))
+	dst = appendUvarint(dst, uint64(len(r.Extents)))
+	for _, e := range r.Extents {
+		dst = appendVarint(dst, e.Chunk)
+		dst = appendUvarint(dst, uint64(e.Off))
+		dst = appendUvarint(dst, uint64(e.Len))
+	}
+	return dst
+}
+
+// AppendWirePayloads implements rpc.WireMessage.
+func (r ReadVReq) AppendWirePayloads(dst [][]byte) ([][]byte, int) { return dst, 0 }
+
+func decodeReadVReq(header, payload []byte, _ *rpc.RecvBuf) (any, bool, error) {
+	hc := rpc.Cursor{Data: header}
+	r := ReadVReq{VDisk: VDiskID(hc.String())}
+	n := hc.Count(3)
+	if !hc.Bad && n > 0 {
+		r.Extents = make([]ReadVExtent, n)
+		for i := range r.Extents {
+			r.Extents[i].Chunk = hc.Varint()
+			r.Extents[i].Off = int(hc.Uvarint())
+			r.Extents[i].Len = int(hc.Uvarint())
+		}
+	}
+	if !hc.Done() || len(payload) != 0 {
+		return nil, false, fmt.Errorf("%w: ReadVReq", rpc.ErrBadMessage)
+	}
+	return r, false, nil
+}
+
+// ---- ReadVResp ----
+
+// WireTag implements rpc.WireMessage.
+func (r ReadVResp) WireTag() byte { return TagReadVResp }
+
+// AppendWireHeader implements rpc.WireMessage.
+func (r ReadVResp) AppendWireHeader(dst []byte) []byte {
+	dst = rpc.AppendBool(dst, r.OK)
+	dst = rpc.AppendString(dst, r.Err)
+	dst = appendUvarint(dst, uint64(len(r.Results)))
+	for _, e := range r.Results {
+		dst = rpc.AppendBool(dst, e.OK)
+		dst = rpc.AppendString(dst, e.Err)
+		dst = appendDataLen(dst, e.Data, e.Data != nil)
+	}
+	return dst
+}
+
+// AppendWirePayloads implements rpc.WireMessage.
+func (r ReadVResp) AppendWirePayloads(dst [][]byte) ([][]byte, int) {
+	total := 0
+	for _, e := range r.Results {
+		if len(e.Data) > 0 {
+			dst = append(dst, e.Data)
+			total += len(e.Data)
+		}
+	}
+	return dst, total
+}
+
+func decodeReadVResp(header, payload []byte, rb *rpc.RecvBuf) (any, bool, error) {
+	hc := rpc.Cursor{Data: header}
+	pc := rpc.Cursor{Data: payload}
+	r := ReadVResp{OK: hc.Bool(), Err: hc.String()}
+	n := hc.Count(3)
+	if !hc.Bad && n > 0 {
+		r.Results = make([]ReadVExtentResult, n)
+		for i := range r.Results {
+			r.Results[i].OK = hc.Bool()
+			r.Results[i].Err = hc.String()
+			r.Results[i].Data = takeData(&hc, &pc)
+		}
+	}
+	if !hc.Done() || !pc.Done() {
+		return nil, false, fmt.Errorf("%w: ReadVResp", rpc.ErrBadMessage)
+	}
+	if len(payload) > 0 {
+		r.wb = rb
+		return r, true, nil
+	}
+	return r, false, nil
+}
+
+// ReleaseWire implements rpc.WireReleaser: it returns the pooled
+// receive buffer the per-extent Data fields alias. Idempotent.
+func (r ReadVResp) ReleaseWire() { r.wb.Release() }
+
+// ---- WriteReq ----
+
+// WireTag implements rpc.WireMessage.
+func (w WriteReq) WireTag() byte { return TagWriteReq }
+
+// AppendWireHeader implements rpc.WireMessage.
+func (w WriteReq) AppendWireHeader(dst []byte) []byte {
+	dst = rpc.AppendString(dst, string(w.VDisk))
+	dst = appendVarint(dst, w.Chunk)
+	dst = appendUvarint(dst, uint64(w.Off))
+	dst = rpc.AppendBool(dst, w.Forwarded)
+	dst = appendVarint(dst, w.ExpireAt)
+	dst = appendUvarint(dst, w.LeaseID)
+	dst = appendVarint(dst, w.Epoch)
+	return appendDataLen(dst, w.Data, w.Data != nil)
+}
+
+// AppendWirePayloads implements rpc.WireMessage.
+func (w WriteReq) AppendWirePayloads(dst [][]byte) ([][]byte, int) {
+	if len(w.Data) == 0 {
+		return dst, 0
+	}
+	return append(dst, w.Data), len(w.Data)
+}
+
+func decodeWriteReq(header, payload []byte, rb *rpc.RecvBuf) (any, bool, error) {
+	hc := rpc.Cursor{Data: header}
+	pc := rpc.Cursor{Data: payload}
+	w := WriteReq{VDisk: VDiskID(hc.String())}
+	w.Chunk = hc.Varint()
+	w.Off = int(hc.Uvarint())
+	w.Forwarded = hc.Bool()
+	w.ExpireAt = hc.Varint()
+	w.LeaseID = hc.Uvarint()
+	w.Epoch = hc.Varint()
+	w.Data = takeData(&hc, &pc)
+	if !hc.Done() || !pc.Done() {
+		return nil, false, fmt.Errorf("%w: WriteReq", rpc.ErrBadMessage)
+	}
+	if len(payload) > 0 {
+		w.wb = rb
+		return w, true, nil
+	}
+	return w, false, nil
+}
+
+// ReleaseWire implements rpc.WireReleaser: it returns the pooled
+// receive buffer the Data field aliases. Idempotent.
+func (w WriteReq) ReleaseWire() { w.wb.Release() }
+
+// ---- WriteResp ----
+
+// WireTag implements rpc.WireMessage.
+func (w WriteResp) WireTag() byte { return TagWriteResp }
+
+// AppendWireHeader implements rpc.WireMessage.
+func (w WriteResp) AppendWireHeader(dst []byte) []byte {
+	dst = rpc.AppendBool(dst, w.OK)
+	return rpc.AppendString(dst, w.Err)
+}
+
+// AppendWirePayloads implements rpc.WireMessage.
+func (w WriteResp) AppendWirePayloads(dst [][]byte) ([][]byte, int) { return dst, 0 }
+
+func decodeWriteResp(header, payload []byte, _ *rpc.RecvBuf) (any, bool, error) {
+	hc := rpc.Cursor{Data: header}
+	w := WriteResp{OK: hc.Bool(), Err: hc.String()}
+	if !hc.Done() || len(payload) != 0 {
+		return nil, false, fmt.Errorf("%w: WriteResp", rpc.ErrBadMessage)
+	}
+	return w, false, nil
+}
+
+// ---- WriteVReq ----
+
+// WireTag implements rpc.WireMessage.
+func (w WriteVReq) WireTag() byte { return TagWriteVReq }
+
+// AppendWireHeader implements rpc.WireMessage.
+func (w WriteVReq) AppendWireHeader(dst []byte) []byte {
+	dst = rpc.AppendString(dst, string(w.VDisk))
+	dst = rpc.AppendBool(dst, w.Forwarded)
+	dst = appendVarint(dst, w.ExpireAt)
+	dst = appendUvarint(dst, w.LeaseID)
+	dst = appendVarint(dst, w.Epoch)
+	dst = appendUvarint(dst, uint64(len(w.Extents)))
+	for _, e := range w.Extents {
+		dst = appendVarint(dst, e.Chunk)
+		dst = appendUvarint(dst, uint64(e.Off))
+		dst = appendDataLen(dst, e.Data, e.Data != nil)
+	}
+	return dst
+}
+
+// AppendWirePayloads implements rpc.WireMessage.
+func (w WriteVReq) AppendWirePayloads(dst [][]byte) ([][]byte, int) {
+	total := 0
+	for _, e := range w.Extents {
+		if len(e.Data) > 0 {
+			dst = append(dst, e.Data)
+			total += len(e.Data)
+		}
+	}
+	return dst, total
+}
+
+func decodeWriteVReq(header, payload []byte, rb *rpc.RecvBuf) (any, bool, error) {
+	hc := rpc.Cursor{Data: header}
+	pc := rpc.Cursor{Data: payload}
+	w := WriteVReq{VDisk: VDiskID(hc.String())}
+	w.Forwarded = hc.Bool()
+	w.ExpireAt = hc.Varint()
+	w.LeaseID = hc.Uvarint()
+	w.Epoch = hc.Varint()
+	n := hc.Count(3)
+	if !hc.Bad && n > 0 {
+		w.Extents = make([]WriteVExtent, n)
+		for i := range w.Extents {
+			w.Extents[i].Chunk = hc.Varint()
+			w.Extents[i].Off = int(hc.Uvarint())
+			w.Extents[i].Data = takeData(&hc, &pc)
+		}
+	}
+	if !hc.Done() || !pc.Done() {
+		return nil, false, fmt.Errorf("%w: WriteVReq", rpc.ErrBadMessage)
+	}
+	if len(payload) > 0 {
+		w.wb = rb
+		return w, true, nil
+	}
+	return w, false, nil
+}
+
+// ReleaseWire implements rpc.WireReleaser: it returns the pooled
+// receive buffer the per-extent Data fields alias. Idempotent.
+func (w WriteVReq) ReleaseWire() { w.wb.Release() }
+
+// ---- WriteVResp ----
+
+// WireTag implements rpc.WireMessage.
+func (w WriteVResp) WireTag() byte { return TagWriteVResp }
+
+// AppendWireHeader implements rpc.WireMessage.
+func (w WriteVResp) AppendWireHeader(dst []byte) []byte {
+	dst = rpc.AppendBool(dst, w.OK)
+	return rpc.AppendString(dst, w.Err)
+}
+
+// AppendWirePayloads implements rpc.WireMessage.
+func (w WriteVResp) AppendWirePayloads(dst [][]byte) ([][]byte, int) { return dst, 0 }
+
+func decodeWriteVResp(header, payload []byte, _ *rpc.RecvBuf) (any, bool, error) {
+	hc := rpc.Cursor{Data: header}
+	w := WriteVResp{OK: hc.Bool(), Err: hc.String()}
+	if !hc.Done() || len(payload) != 0 {
+		return nil, false, fmt.Errorf("%w: WriteVResp", rpc.ErrBadMessage)
+	}
+	return w, false, nil
+}
+
+func init() {
+	rpc.RegisterWireDecoder(TagReadReq, decodeReadReq)
+	rpc.RegisterWireDecoder(TagReadResp, decodeReadResp)
+	rpc.RegisterWireDecoder(TagReadVReq, decodeReadVReq)
+	rpc.RegisterWireDecoder(TagReadVResp, decodeReadVResp)
+	rpc.RegisterWireDecoder(TagWriteReq, decodeWriteReq)
+	rpc.RegisterWireDecoder(TagWriteResp, decodeWriteResp)
+	rpc.RegisterWireDecoder(TagWriteVReq, decodeWriteVReq)
+	rpc.RegisterWireDecoder(TagWriteVResp, decodeWriteVResp)
+}

@@ -32,11 +32,12 @@ var (
 	ErrClosed  = errors.New("rpc: endpoint closed")
 )
 
-// envelope frames every message on the wire. Trace and Span carry
+// Envelope frames every message on the wire. Trace and Span carry
 // the sender's active trace context (obs), so one operation can be
 // followed across layers and machines; both are 0 when the sender
-// was not inside a traced operation.
-type envelope struct {
+// was not inside a traced operation. It is exported so the wire
+// codec's tests and benchmarks can drive the exact carrier format.
+type Envelope struct {
 	ID      uint64 // correlation id; 0 for casts
 	IsReply bool
 	Trace   uint64
@@ -115,7 +116,7 @@ func (e *Endpoint) Addr() string { return e.addr }
 func (e *Endpoint) Handle(h HandlerFunc) { e.handler.Store(h) }
 
 func (e *Endpoint) receive(from string, body any, size int) {
-	env, ok := body.(envelope)
+	env, ok := body.(Envelope)
 	if !ok {
 		return
 	}
@@ -126,11 +127,16 @@ func (e *Endpoint) receive(from string, body any, size int) {
 		e.mu.Unlock()
 		if ch != nil {
 			ch <- env.Body
+		} else {
+			// Caller gave up (timeout): return any pooled payload
+			// buffer the decoded reply still holds.
+			Release(env.Body)
 		}
 		return
 	}
 	hv := e.handler.Load()
 	if hv == nil {
+		Release(env.Body)
 		return
 	}
 	h := hv.(HandlerFunc)
@@ -154,7 +160,7 @@ func (e *Endpoint) receive(from string, body any, size int) {
 			reply = h(from, env.Body)
 		}
 		if reply != nil {
-			_ = e.carrier.Send(e.addr, from, envelope{ID: env.ID, IsReply: true, Body: reply}, sizeOf(reply))
+			_ = e.carrier.Send(e.addr, from, Envelope{ID: env.ID, IsReply: true, Body: reply}, sizeOf(reply))
 		}
 	}()
 }
@@ -169,7 +175,7 @@ func (e *Endpoint) Cast(to string, body any) error {
 	if closed {
 		return ErrClosed
 	}
-	env := envelope{Body: body}
+	env := Envelope{Body: body}
 	if sp := obs.Current(); sp != nil {
 		env.Trace, env.Span = sp.TraceID, sp.ID
 	}
@@ -190,7 +196,7 @@ func (e *Endpoint) Call(to string, req any, timeout time.Duration) (any, error) 
 	e.pending[id] = ch
 	e.mu.Unlock()
 
-	env := envelope{ID: id, Body: req}
+	env := Envelope{ID: id, Body: req}
 	if sp := obs.Current(); sp != nil {
 		env.Trace, env.Span = sp.TraceID, sp.ID
 	}
@@ -208,6 +214,13 @@ func (e *Endpoint) Call(to string, req any, timeout time.Duration) (any, error) 
 		e.mu.Lock()
 		delete(e.pending, id)
 		e.mu.Unlock()
+		// The reply may have been buffered in the same instant the
+		// timer fired; recycle its pooled payload buffer if so.
+		select {
+		case reply := <-ch:
+			Release(reply)
+		default:
+		}
 		return nil, fmt.Errorf("%w: %s -> %s", ErrTimeout, e.addr, to)
 	}
 }

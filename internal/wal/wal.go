@@ -23,6 +23,7 @@ import (
 	"sort"
 	"sync"
 
+	"frangipani/internal/bufpool"
 	"frangipani/internal/obs"
 )
 
@@ -380,7 +381,16 @@ func (l *Log) writeStream(buf []byte, start int64, pend []recSpan) error {
 	firstBlk := start / payloadPerBlock
 	lastBlk := (start + int64(len(buf)) - 1) / payloadPerBlock
 	nBlks := lastBlk - firstBlk + 1
-	big := make([]byte, nBlks*BlockSize)
+	// Assemble the run in a pooled buffer: every layer below copies
+	// synchronously (the Petal client snapshots write payloads before
+	// they reach the carrier), so the buffer is dead once WriteAt
+	// returns and steady-state flushing recycles a small working set.
+	// Recovery treats zero bytes past the stream end as a clean stop,
+	// so the recycled buffer is cleared like a fresh allocation.
+	bigp := bufpool.Get(int(nBlks * BlockSize))
+	defer bufpool.Put(bigp)
+	big := *bigp
+	clear(big)
 	// Preserve the prior payload of a leading partial block.
 	if start%payloadPerBlock != 0 {
 		off := firstBlk % l.blocks * BlockSize
