@@ -30,11 +30,19 @@ bench:
 ## gob baseline by >= 5x allocs/op and >= 2x ns/op on 1 MB WriteV/ReadV
 ## (encode must be 0 allocs/op), and codec-mux asserts >= 2 concurrent
 ## in-flight RPC streams share one TCP connection.
+## forensics-smoke kills a lock holder mid-write and asserts the merged
+## flight-recorder timeline shows expiry -> recovery -> replay in causal
+## order; obs-overhead asserts the recorder adds <= 1% serial Sync
+## latency. The final step persists this build's point on the perf
+## trajectory as BENCH_<utc-timestamp>.json (schema frangipani-bench/v1).
 bench-smoke:
 	$(GO) run ./cmd/frangibench -quick -exp obs-smoke
 	$(GO) run ./cmd/frangibench -quick -exp read-scaling
 	CODEC_BUDGET=1 $(GO) test -run TestCodecBudget -count=1 ./internal/rpc/
 	$(GO) run ./cmd/frangibench -quick -exp codec-mux
+	$(GO) run ./cmd/frangibench -quick -exp forensics-smoke
+	$(GO) run ./cmd/frangibench -quick -exp obs-overhead
+	$(GO) run ./cmd/frangibench -out BENCH_$$(date -u +%Y%m%dT%H%M%SZ).json
 
 ## bench-codec: raw codec-vs-gob microbenchmarks with allocation counts.
 bench-codec:

@@ -22,6 +22,8 @@ package frangipani
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -146,6 +148,16 @@ type Cluster struct {
 
 	winOnce sync.Once
 	windows *obs.WindowRing
+
+	anomOnce sync.Once
+	anoms    *obs.AnomalyWatcher
+
+	// healthMu guards the probe-transition memory behind health-crit
+	// journaling and dump-on-failure.
+	healthMu     sync.Mutex
+	lastProbe    map[string]obs.ProbeStatus
+	critDumpPath string
+	critDumped   bool
 
 	metrics *obs.MetricsServer
 }
@@ -381,7 +393,121 @@ func (c *Cluster) Health() obs.HealthReport {
 			return obs.StatusOK, "replicas in sync"
 		})
 	}
-	return h.Evaluate()
+	rep := h.Evaluate()
+	c.journalHealthTransitions(rep)
+	return rep
+}
+
+// journalHealthTransitions records probe status *changes* into the
+// cluster journal (re-evaluating an unchanged crit stays silent) and
+// triggers the dump-on-failure artifact the first time any probe
+// flips to crit while AutoDumpForensics is armed.
+func (c *Cluster) journalHealthTransitions(rep obs.HealthReport) {
+	if c.Obs() == nil {
+		return
+	}
+	jr := c.Obs().Journal("cluster")
+	c.healthMu.Lock()
+	if c.lastProbe == nil {
+		c.lastProbe = make(map[string]obs.ProbeStatus)
+	}
+	newCrit := false
+	for _, pr := range rep.Probes {
+		prev, seen := c.lastProbe[pr.Name]
+		c.lastProbe[pr.Name] = pr.Status
+		if pr.Status == prev {
+			continue
+		}
+		switch {
+		case pr.Status == obs.StatusCrit:
+			jr.Record("obs", "health", "crit", 0, 0, pr.Name+": "+pr.Detail)
+			newCrit = true
+		case pr.Status == obs.StatusWarn:
+			jr.Record("obs", "health", "warn", 0, 0, pr.Name+": "+pr.Detail)
+		case seen && prev != obs.StatusOK:
+			jr.Record("obs", "health", "recovered", 0, 0, pr.Name)
+		}
+	}
+	path, armed := c.critDumpPath, !c.critDumped
+	if newCrit && path != "" && armed {
+		c.critDumped = true
+	}
+	c.healthMu.Unlock()
+	if newCrit && path != "" && armed {
+		if f, err := os.Create(path); err == nil {
+			_, _ = io.WriteString(f, c.Forensics("health probe flipped to crit").JSON())
+			_ = f.Close()
+		}
+	}
+}
+
+// AutoDumpForensics arms dump-on-failure: the first time a health
+// probe flips to crit, the merged forensics timeline is written to
+// path (once per cluster; re-arm by calling again with a new path).
+func (c *Cluster) AutoDumpForensics(path string) {
+	c.healthMu.Lock()
+	c.critDumpPath = path
+	c.critDumped = false
+	c.healthMu.Unlock()
+}
+
+// Timeline merges every server's flight-recorder journal into one
+// causally-ordered cross-server timeline (see obs.MergeTimeline).
+func (c *Cluster) Timeline(f obs.Filter) []obs.Event {
+	return obs.MergeTimeline(c.Obs().Journals(), f)
+}
+
+// NowNs is the cluster clock in nanoseconds — the timebase journal
+// events are stamped in, so it anchors obs.Filter.Since windows.
+func (c *Cluster) NowNs() int64 {
+	return int64(c.World.Clock.Now())
+}
+
+// EntityNamer renders journal entity keys for humans: lock ids decode
+// through the FS lock-name scheme ("inode/7"), anything else in hex.
+func (c *Cluster) EntityNamer() obs.Namer {
+	return func(layer string, key uint64) string {
+		if layer == "lockservice" {
+			return fs.LockName(key)
+		}
+		return fmt.Sprintf("%#x", key)
+	}
+}
+
+// Anomalies returns the cluster's anomaly watcher (created on first
+// use with default thresholds), annotating the cluster journal. Feed
+// it windows: c.Anomalies().Observe(c.Windows().Advance()).
+func (c *Cluster) Anomalies() *obs.AnomalyWatcher {
+	c.anomOnce.Do(func() {
+		c.anoms = obs.NewAnomalyWatcher(c.Obs().Journal("cluster"), obs.AnomalyConfig{})
+	})
+	return c.anoms
+}
+
+// Forensics assembles the black-box snapshot: the full merged
+// timeline plus the current health report.
+func (c *Cluster) Forensics(reason string) obs.ForensicsDump {
+	d := obs.ForensicsDump{
+		Schema:    obs.ForensicsSchema,
+		TakenAtNs: int64(c.World.Clock.Now()),
+		Reason:    reason,
+		Events:    c.Timeline(obs.Filter{}),
+	}
+	for _, j := range c.Obs().Journals() {
+		d.Servers = append(d.Servers, j.Server())
+	}
+	if c.Obs() != nil {
+		rep := c.Health()
+		d.Health = &rep
+	}
+	return d
+}
+
+// DumpForensics writes the forensics snapshot as JSON to w — the
+// explicit flavor of dump-on-failure for tests and operators.
+func (c *Cluster) DumpForensics(w io.Writer) error {
+	_, err := io.WriteString(w, c.Forensics("explicit dump").JSON())
+	return err
 }
 
 // ServeMetrics starts an HTTP exposition endpoint on addr (":0"

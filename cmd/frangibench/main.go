@@ -18,6 +18,7 @@ import (
 	"os"
 	"os/exec"
 	"strings"
+	"time"
 
 	"frangipani"
 	"frangipani/internal/bench"
@@ -29,7 +30,7 @@ var names = []string{
 	"fig5", "fig6", "fig7", "fig7-norepl", "fig8", "fig9",
 	"wshare", "smallreads", "ablation-synclog", "writeback-pipeline",
 	"read-scaling", "obs-overhead", "obs-smoke", "contention-profile",
-	"codec-mux",
+	"codec-mux", "forensics-smoke",
 }
 
 func main() {
@@ -42,6 +43,7 @@ func main() {
 		petals      = flag.Int("petals", 7, "number of Petal servers")
 		snapshot    = flag.String("snapshot", "", "run a small workload and dump the metrics registry (text|json)")
 		jsonOut     = flag.String("json", "", "run the small workload and write a machine-readable report to this path")
+		out         = flag.String("out", "", "append a perf-trajectory record (experiment tables, metrics, git SHA) to this path")
 	)
 	flag.Parse()
 
@@ -81,6 +83,28 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(tb.Render())
+		if *out != "" {
+			if err := writeTrajectory(*out, *exp, tb, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "frangibench:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *out != "" {
+		// Bare -out: persist the small-workload report as this
+		// build's point on the perf trajectory.
+		rep, err := collectJSONReport()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "frangibench:", err)
+			os.Exit(1)
+		}
+		if err := writeTrajectory(*out, "small-workload", nil, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "frangibench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
 		return
 	}
 	// Run each experiment in a fresh child process: at clock
@@ -138,13 +162,26 @@ type critEntry struct {
 // writeJSONReport runs the same small workload as -snapshot and
 // writes a benchReport to path.
 func writeJSONReport(path string) error {
-	c, err := frangipani.NewCluster(frangipani.DefaultClusterConfig())
+	rep, err := collectJSONReport()
 	if err != nil {
 		return err
 	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// collectJSONReport runs the small workload and gathers a benchReport.
+func collectJSONReport() (*benchReport, error) {
+	c, err := frangipani.NewCluster(frangipani.DefaultClusterConfig())
+	if err != nil {
+		return nil, err
+	}
 	defer c.Close()
 	if err := smallWorkload(c); err != nil {
-		return err
+		return nil, err
 	}
 	reg := c.Obs()
 	snap := reg.Snapshot()
@@ -174,11 +211,54 @@ func writeJSONReport(path string) error {
 			Layers:   cp.Profile(root),
 		})
 	}
-	b, err := json.MarshalIndent(rep, "", "  ")
+	return &rep, nil
+}
+
+// trajectorySchema versions the -out record layout so downstream
+// trend tooling can evolve without guessing at shapes.
+const trajectorySchema = "frangipani-bench/v1"
+
+// trajectoryRecord is one persisted point on the perf trajectory:
+// which experiment ran, on which commit, when, and its metrics.
+type trajectoryRecord struct {
+	Schema     string       `json:"schema"`
+	Experiment string       `json:"experiment"`
+	GitSHA     string       `json:"git_sha"`
+	TakenAt    string       `json:"taken_at"`
+	Table      *bench.Table `json:"table,omitempty"`
+	Report     *benchReport `json:"report,omitempty"`
+}
+
+// writeTrajectory writes one trajectoryRecord to path. Exactly one of
+// tb / rep is non-nil depending on whether -exp was given.
+func writeTrajectory(path, experiment string, tb *bench.Table, rep *benchReport) error {
+	rec := trajectoryRecord{
+		Schema:     trajectorySchema,
+		Experiment: experiment,
+		GitSHA:     gitSHA(),
+		TakenAt:    time.Now().UTC().Format(time.RFC3339),
+		Table:      tb,
+		Report:     rep,
+	}
+	b, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// gitSHA identifies the commit a trajectory record was measured on.
+// CI environments expose it even without a .git checkout.
+func gitSHA() string {
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		if s := strings.TrimSpace(string(out)); s != "" {
+			return s
+		}
+	}
+	if s := os.Getenv("GITHUB_SHA"); s != "" {
+		return s
+	}
+	return "unknown"
 }
 
 // smallWorkload exercises every layer once: metadata ops, a 64 KB

@@ -13,6 +13,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"frangipani"
+	fslayout "frangipani/internal/fs"
 	"frangipani/internal/obs"
 )
 
@@ -74,8 +76,14 @@ func main() {
   watch [n]            render n windowed refreshes (default 5, 1/s):
                        per-window op rates and p99s, health verdict,
                        and the hot-lock table
-  health               evaluate the cluster health probes
-  hotlocks             top contended locks (acquire wait + revokes)
+  health [json]        evaluate the cluster health probes
+  hotlocks [json]      top contended locks (acquire wait + revokes)
+  forensics [json]     merged cross-server event timeline (flight
+                       recorder); variants:
+                         forensics lock <id|inode/N>   one lock's story
+                         forensics op <traceID-hex>    one operation
+                         forensics last <dur>          e.g. last 2s
+                       append 'json' for a machine-readable dump
   critpath             critical-path profile of recent traces
                        ("where does a Sync go")
   fsck                 offline consistency check
@@ -195,9 +203,16 @@ func main() {
 				if top := reg.Resources("lockservice.locks").TopK(5); len(top) > 0 {
 					fmt.Print(obs.RenderResources("hot locks", top))
 				}
+				for _, a := range cluster.Anomalies().Observe(win) {
+					fmt.Printf("ANOMALY %s: %s %.1f (baseline %.1f)\n", a.Kind, a.Metric, a.Value, a.Baseline)
+				}
 			}
 		case "health":
-			fmt.Print(cluster.Health().Text())
+			if arg(args, 1) == "json" {
+				printJSON(cluster.Health())
+			} else {
+				fmt.Print(cluster.Health().Text())
+			}
 		case "hotlocks":
 			reg := cluster.Obs()
 			if reg == nil {
@@ -205,11 +220,21 @@ func main() {
 				break
 			}
 			top := reg.Resources("lockservice.locks").TopK(10)
+			if arg(args, 1) == "json" {
+				printJSON(top)
+				break
+			}
 			if len(top) == 0 {
 				fmt.Println("no lock acquisitions recorded yet")
 				break
 			}
 			fmt.Print(obs.RenderResources("hot locks", top))
+		case "forensics":
+			if cluster.Obs() == nil {
+				fmt.Println("observability disabled")
+				break
+			}
+			err = forensics(cluster, args[1:])
 		case "critpath":
 			reg := cluster.Obs()
 			if reg == nil {
@@ -253,4 +278,73 @@ func arg(args []string, i int) string {
 		return args[i]
 	}
 	return ""
+}
+
+func printJSON(v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(string(b))
+}
+
+// forensics implements the `forensics` shell command: it merges every
+// server's flight-recorder journal into one causally-ordered timeline,
+// optionally narrowed to a lock, a trace, or a recent window.
+func forensics(cluster *frangipani.Cluster, args []string) error {
+	var f obs.Filter
+	var traceOut string
+	asJSON := false
+	for len(args) > 0 {
+		switch args[0] {
+		case "json":
+			asJSON = true
+			args = args[1:]
+		case "lock":
+			if len(args) < 2 {
+				return fmt.Errorf("usage: forensics lock <id|inode/N|bitmap-seg/N|log-slot/N>")
+			}
+			id, ok := fslayout.ParseLockName(args[1])
+			if !ok {
+				return fmt.Errorf("cannot parse lock %q", args[1])
+			}
+			f.Key, f.Layer = id, "lockservice"
+			args = args[2:]
+		case "op":
+			if len(args) < 2 {
+				return fmt.Errorf("usage: forensics op <traceID-hex>")
+			}
+			id, err := strconv.ParseUint(strings.TrimPrefix(args[1], "0x"), 16, 64)
+			if err != nil {
+				return fmt.Errorf("cannot parse trace id %q", args[1])
+			}
+			f.Trace = id
+			traceOut = cluster.Obs().Tracer().RenderTrace(id)
+			args = args[2:]
+		case "last":
+			if len(args) < 2 {
+				return fmt.Errorf("usage: forensics last <duration>")
+			}
+			d, err := time.ParseDuration(args[1])
+			if err != nil {
+				return err
+			}
+			f.Since = cluster.NowNs() - int64(d)
+			args = args[2:]
+		default:
+			return fmt.Errorf("unknown forensics argument %q", args[0])
+		}
+	}
+	if asJSON {
+		dump := cluster.Forensics("cli request")
+		dump.Events = cluster.Timeline(f)
+		fmt.Println(dump.JSON())
+		return nil
+	}
+	if traceOut != "" {
+		fmt.Print(traceOut)
+	}
+	fmt.Print(obs.RenderTimeline(cluster.Timeline(f), cluster.EntityNamer()))
+	return nil
 }

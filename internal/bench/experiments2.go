@@ -512,6 +512,7 @@ func (o Options) All() ([]*Table, error) {
 		{"obs-overhead", o.ObsOverhead},
 		{"obs-smoke", o.ObsSmoke},
 		{"codec-mux", o.CodecMux},
+		{"forensics-smoke", o.ForensicsSmoke},
 	}
 	var out []*Table
 	for _, e := range exps {
@@ -563,6 +564,8 @@ func (o Options) ByName(name string) (*Table, error) {
 		return o.ContentionProfile()
 	case "codec-mux":
 		return o.CodecMux()
+	case "forensics-smoke":
+		return o.ForensicsSmoke()
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q", name)
 }

@@ -212,6 +212,7 @@ type FS struct {
 	m   fsMetrics
 	now obs.NowFunc
 	tr  *obs.Tracer
+	jr  *obs.Journal // flight recorder (nil-safe)
 
 	syncCancel func()
 }
@@ -288,6 +289,7 @@ func Mount(w *sim.World, machine string, pc *petal.Client, vd petal.VDiskID,
 	if w.Obs != nil {
 		fs.now = w.Obs.Now
 		fs.tr = w.Obs.Tracer()
+		fs.jr = w.Obs.Journal(machine)
 		// Hot-lock table entries decode to human-readable lock names
 		// ("inode/7") in snapshots and exposition.
 		w.Obs.Resources("lockservice.locks").SetNamer(LockName)
@@ -457,6 +459,7 @@ func (fs *FS) Crash() {
 	fs.mu.Lock()
 	fs.closed = true
 	fs.mu.Unlock()
+	fs.jr.Record("fs", "crash", "induced", 0, int64(fs.logSlot), "")
 	if fs.syncCancel != nil {
 		fs.syncCancel()
 	}
@@ -1272,14 +1275,20 @@ func (fs *FS) dropSegment(lock uint64) {
 // against the shared disk. The lock service has granted us exclusive
 // ownership of the dead server's log and locks.
 func (fs *FS) onRecover(dead string, deadSlot int) error {
+	fs.jr.Record("fs", "recover", "start", 0, int64(deadSlot), dead)
 	region := &logRegion{fs: fs, base: fs.lay.LogSlotBase(deadSlot)}
 	recs, err := wal.Scan(region, fs.lay.LogSize)
 	if err != nil {
+		fs.jr.Record("fs", "recover", "fail", 0, int64(deadSlot), "scan: "+err.Error())
 		return err
 	}
-	if _, err := wal.Replay(recs, &directDev{fs: fs}); err != nil {
+	fs.jr.Record("fs", "recover", "scanned", 0, int64(len(recs)), dead)
+	applied, err := wal.Replay(recs, &directDev{fs: fs})
+	if err != nil {
+		fs.jr.Record("fs", "recover", "fail", 0, int64(deadSlot), "replay: "+err.Error())
 		return err
 	}
+	fs.jr.Record("fs", "recover", "replayed", 0, int64(applied), dead)
 	fs.m.recoveries.Inc()
 	return nil
 }
@@ -1289,6 +1298,11 @@ func (fs *FS) onRecover(dead string, deadSlot int) error {
 // fails until unmount.
 func (fs *FS) onLeaseLost() {
 	dirty := fs.meta.HasDirty() || fs.data.HasDirty()
+	if dirty {
+		fs.jr.Record("fs", "poison", "lease-lost", 0, 1, "dirty cache discarded; server shut off")
+	} else {
+		fs.jr.Record("fs", "lease", "lost-clean", 0, 0, "caches invalidated")
+	}
 	fs.meta.InvalidateAll()
 	fs.data.InvalidateAll()
 	fs.mu.Lock()

@@ -9,6 +9,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 )
 
 // Sizes.
@@ -268,6 +270,40 @@ func LockName(id uint64) string {
 		return "backup-barrier"
 	}
 	return fmt.Sprintf("%#x", id)
+}
+
+// ParseLockName is the inverse of LockName: it accepts the rendered
+// forms ("inode/7", "bitmap-seg/3", "log-slot/0", "backup-barrier")
+// as well as a raw decimal or 0x-hex lock id.
+func ParseLockName(s string) (uint64, bool) {
+	if s == "backup-barrier" {
+		return LockBarrier, true
+	}
+	for _, p := range []struct {
+		prefix string
+		tag    uint64
+	}{
+		{"inode/", lockTagInode},
+		{"bitmap-seg/", lockTagBitmap},
+		{"log-slot/", lockTagLog},
+	} {
+		if strings.HasPrefix(s, p.prefix) {
+			n, err := strconv.ParseUint(s[len(p.prefix):], 10, 64)
+			if err != nil {
+				return 0, false
+			}
+			return p.tag | n, true
+		}
+	}
+	base := 10
+	if strings.HasPrefix(s, "0x") {
+		s, base = s[2:], 16
+	}
+	n, err := strconv.ParseUint(s, base, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
 }
 
 // Params sector (one sector at ParamsBase).

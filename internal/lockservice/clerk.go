@@ -76,6 +76,7 @@ type Clerk struct {
 	revLat *obs.Histogram
 	relLat *obs.Histogram
 	resTab *obs.ResourceTable // per-lock contention (hot-lock table)
+	jr     *obs.Journal       // flight recorder (nil-safe)
 }
 
 func (c *Clerk) trace(format string, args ...any) {
@@ -110,6 +111,7 @@ func NewClerkWithCarrier(w *sim.World, machine, table string, servers []string, 
 		c.revLat = reg.Histogram("lockservice.revoke.latency#" + machine)
 		c.relLat = reg.Histogram("lockservice.release.latency#" + machine)
 		c.resTab = reg.Resources("lockservice.locks")
+		c.jr = reg.Journal(machine)
 	}
 	c.ep = rpc.NewEndpoint(ClerkAddr(machine), carrier, w.Clock, c.handle)
 	return c
@@ -248,6 +250,7 @@ func (c *Clerk) Abandon() {
 	}
 	c.closed = true
 	c.mu.Unlock()
+	c.jr.Record("lockservice", "session", "abandon", 0, 0, "crash: lease left to expire")
 	c.cond.Broadcast()
 	for _, cancel := range c.cancels {
 		cancel()
@@ -313,6 +316,13 @@ func (c *Clerk) Lock(lock uint64, mode Mode) error {
 	wait := c.now() - start
 	c.resTab.Acquire(lock, wait)
 	c.acqLat.Record(wait)
+	// Journal only acquires that blocked or failed: uncontended sticky
+	// hits are the overwhelming common case and would churn the ring.
+	if err != nil {
+		c.jr.Record("lockservice", "acquire", "fail", lock, wait, err.Error())
+	} else if wait > 0 {
+		c.jr.Record("lockservice", "acquire", "ok", lock, wait, "")
+	}
 	return err
 }
 
@@ -446,6 +456,7 @@ func (c *Clerk) requestLocked(lock uint64, l *clkLock) bool {
 	l.lastReqMode = l.want
 	srv := c.state.ServerFor(lock)
 	c.trace("request lock=%x mode=%v -> %s", lock, l.want, srv)
+	c.jr.Record("lockservice", "acquire", "wait", lock, int64(l.want), srv)
 	_ = c.ep.Cast(Addr(srv), ReqMsg{Clerk: c.machine, Table: c.table, Lock: lock, Mode: l.want, Epoch: l.epoch})
 	return true
 }
@@ -536,6 +547,7 @@ func (c *Clerk) processRevoke(lock uint64) {
 	l.lastReqMode = None
 	// Transmit the release before clearing the revoking flag, with
 	// the clerk lock held: no request of ours can overtake it.
+	c.jr.Record("lockservice", "release", "sent", lock, int64(target), "")
 	c.sendReleaseLocked(lock, target)
 	l.revokePending = false
 	l.revoking = false
@@ -598,6 +610,7 @@ func (c *Clerk) onGrant(m GrantMsg) {
 	if m.Mode > l.mode {
 		l.mode = m.Mode
 	}
+	c.jr.Record("lockservice", "grant", "recv", m.Lock, int64(m.Mode), "")
 	c.mu.Unlock()
 	c.cond.Broadcast()
 }
@@ -630,6 +643,7 @@ func (c *Clerk) onRevokeMsg(m RevokeMsg) {
 		c.mu.Unlock()
 		return // already working on an equal-or-stronger revoke
 	}
+	c.jr.Record("lockservice", "revoke", "recv", m.Lock, int64(m.NewMode), "")
 	l.revokePending = true
 	if !l.revoking || m.NewMode < l.revokeTo {
 		l.revokeTo = m.NewMode
@@ -677,12 +691,15 @@ func (c *Clerk) onRecoverReq(m RecoverReq) {
 	c.mu.Lock()
 	cb := c.onRecover
 	c.mu.Unlock()
+	c.jr.Record("lockservice", "recovery", "asked", 0, int64(m.DeadSlot), m.Dead)
 	go func() {
 		if cb != nil {
 			if err := cb(m.Dead, m.DeadSlot); err != nil {
+				c.jr.Record("lockservice", "recovery", "fail", 0, int64(m.DeadSlot), m.Dead+": "+err.Error())
 				return // coordinator will retry or reassign
 			}
 		}
+		c.jr.Record("lockservice", "recovery", "done", 0, int64(m.DeadSlot), m.Dead)
 		_ = c.ep.Cast(Addr(m.Server), RecoveryDone{
 			Clerk: c.machine, Table: c.table, Dead: m.Dead, Seq: m.Seq,
 		})
@@ -749,12 +766,15 @@ func (c *Clerk) renew() {
 	// gone, whatever our ack arithmetic says.
 	if invalid >= majority {
 		c.trace("lease invalidated by majority")
+		c.jr.Record("lockservice", "lease", "invalid", 0, int64(invalid), "majority disowned session")
 		c.loseLease()
 		return
 	}
 	if c.ExpiresAt() <= int64(c.w.Clock.Now()) {
 		c.loseLease()
+		return
 	}
+	c.jr.Record("lockservice", "lease", "renew", 0, int64(acked), "")
 }
 
 // ExpiresAt returns the simulated time (ns) at which the lease
@@ -802,9 +822,11 @@ func (c *Clerk) loseLease() {
 		return
 	}
 	c.leaseLost = true
+	held := int64(len(c.locks))
 	c.locks = make(map[uint64]*clkLock)
 	cb := c.onLeaseLost
 	c.mu.Unlock()
+	c.jr.Record("lockservice", "lease", "lost", 0, held, "all cached grants discarded")
 	c.cond.Broadcast()
 	if cb != nil {
 		cb()

@@ -101,6 +101,7 @@ type Server struct {
 	reqC             *obs.Counter
 	revC             *obs.Counter
 	locksG, memBytes *obs.Gauge
+	jr               *obs.Journal // flight recorder (nil-safe)
 
 	// Trace, when set, receives debug events.
 	Trace func(format string, args ...any)
@@ -143,6 +144,7 @@ func NewServerWithCarrier(w *sim.World, name string, peers []string, cfg Config,
 		s.revC = reg.Counter("lockservice.server.revokes#" + name)
 		s.locksG = reg.Gauge("lockservice.server.locks#" + name)
 		s.memBytes = reg.Gauge("lockservice.server.bytes#" + name)
+		s.jr = reg.Journal(name)
 	}
 	s.px = paxos.NewNode(name, peers, carrier, w.Clock, s.applyCmd)
 	s.det = paxos.NewDetector(name, peers, carrier, w.Clock,
@@ -478,6 +480,7 @@ func (s *Server) tryGrantLocked(k lockKey, ls *lockState) []outMsg {
 		}
 		ls.holders[w.clerk] = w.mode
 		ls.waiters = ls.waiters[1:]
+		s.jr.Record("lockservice", "grant", "sent", k.Lock, int64(w.mode), w.clerk)
 		outs = append(outs, outMsg{ClerkAddr(w.clerk), GrantMsg{Table: k.Table, Lock: k.Lock, Mode: w.mode, Ver: s.state.Version, Epoch: w.epoch}})
 	}
 	if len(ls.waiters) > 0 {
@@ -520,6 +523,7 @@ func (s *Server) revokesFor(k lockKey, ls *lockState) []outMsg {
 			continue // not conflicting
 		}
 		s.revC.Inc()
+		s.jr.Record("lockservice", "revoke", "sent", k.Lock, int64(target), clerk)
 		outs = append(outs, outMsg{ClerkAddr(clerk), RevokeMsg{Table: k.Table, Lock: k.Lock, NewMode: target}})
 	}
 	return outs
@@ -677,10 +681,12 @@ func (s *Server) sweep() {
 
 	for _, e := range expired {
 		s.trace("EXPIRE session %s/%s", e.clerk, e.table)
+		s.jr.Record("lockservice", "lease", "expire", 0, 0, e.clerk+"/"+e.table)
 		_ = s.px.Submit(CmdMarkDead{Clerk: e.clerk, Table: e.table}, 120*time.Second)
 	}
 	for _, j := range jobs {
 		s.trace("RECOVER %s by %s", j.dead, j.recoverer)
+		s.jr.Record("lockservice", "recovery", "assign", 0, int64(j.slot), j.dead+" by "+j.recoverer)
 		_ = s.ep.Cast(ClerkAddr(j.recoverer), RecoverReq{
 			Server: s.name, Table: j.table, Dead: j.dead, DeadSlot: j.slot, Seq: j.seq,
 		})
@@ -716,6 +722,7 @@ func (s *Server) onRecoveryDone(m RecoveryDone) {
 	if !valid {
 		return
 	}
+	s.jr.Record("lockservice", "recovery", "closed", 0, 0, m.Dead)
 	_ = s.px.Submit(CmdCloseSession{Clerk: m.Dead, Table: m.Table}, 120*time.Second)
 }
 

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AnomalyConfig tunes the watcher. Zero fields take defaults.
+type AnomalyConfig struct {
+	// Factor is the multiple of the trailing baseline that fires an
+	// anomaly (default 4: a rate or p99 4x its recent self).
+	Factor float64
+	// BaselineWindows is how many trailing windows form the baseline
+	// (default 8) and, doubling as warm-up, how many must be observed
+	// before a metric is judged at all (min 2) — the first window of a
+	// fresh cluster is never an anomaly, it is the baseline being born.
+	BaselineWindows int
+	// MinRate suppresses rate anomalies below this many events/s
+	// (default 10): a counter going 0 -> 2/s is noise, not a spike,
+	// and flat-zero metrics must not fire on their first blip.
+	MinRate float64
+	// MinP99Ns suppresses latency anomalies below this p99 (default
+	// 1ms): microsecond jitter on an idle histogram is not a spike.
+	MinP99Ns int64
+}
+
+func (c AnomalyConfig) withDefaults() AnomalyConfig {
+	if c.Factor <= 1 {
+		c.Factor = 4
+	}
+	if c.BaselineWindows < 2 {
+		if c.BaselineWindows == 0 {
+			c.BaselineWindows = 8
+		} else {
+			c.BaselineWindows = 2
+		}
+	}
+	if c.MinRate <= 0 {
+		c.MinRate = 10
+	}
+	if c.MinP99Ns <= 0 {
+		c.MinP99Ns = int64(1e6)
+	}
+	return c
+}
+
+// Anomaly is one fired annotation: a metric whose current window
+// value exceeded Factor x its trailing baseline.
+type Anomaly struct {
+	Metric   string  `json:"metric"`
+	Kind     string  `json:"kind"` // "rate" or "p99"
+	Value    float64 `json:"value"`
+	Baseline float64 `json:"baseline"`
+	AtNs     int64   `json:"at_ns"`
+}
+
+// trail is one metric's trailing baseline: a small ring of recent
+// window values plus a firing latch so a sustained spike annotates
+// the journal once, on the crossing, not once per window.
+type trail struct {
+	vals   []float64
+	pos    int
+	n      int
+	firing bool
+}
+
+func (t *trail) mean() float64 {
+	if t.n == 0 {
+		return 0
+	}
+	var s float64
+	for i := 0; i < t.n; i++ {
+		s += t.vals[i]
+	}
+	return s / float64(t.n)
+}
+
+func (t *trail) push(v float64) {
+	t.vals[t.pos] = v
+	t.pos = (t.pos + 1) % len(t.vals)
+	if t.n < len(t.vals) {
+		t.n++
+	}
+}
+
+// AnomalyWatcher observes closed WindowRing windows and self-marks
+// spikes in the flight record: when a counter's rate or a histogram's
+// per-window p99 exceeds a configurable multiple of its own trailing
+// baseline, it records an "obs.anomaly" journal event, so the merged
+// timeline shows *when the metrics went strange* in between the
+// discrete protocol events.
+type AnomalyWatcher struct {
+	cfg AnomalyConfig
+	jr  *Journal
+
+	mu     sync.Mutex
+	trails map[string]*trail
+}
+
+// NewAnomalyWatcher builds a watcher that annotates jr (may be nil
+// for a watcher that only returns anomalies).
+func NewAnomalyWatcher(jr *Journal, cfg AnomalyConfig) *AnomalyWatcher {
+	return &AnomalyWatcher{
+		cfg:    cfg.withDefaults(),
+		jr:     jr,
+		trails: make(map[string]*trail),
+	}
+}
+
+// Observe judges one closed window against each metric's trailing
+// baseline, updates the baselines, and returns (and journals) any
+// anomalies. Call it after WindowRing.Advance with the window it
+// returned. An empty window (no rates, no histograms) is a no-op:
+// it neither fires nor disturbs the baselines.
+func (w *AnomalyWatcher) Observe(win Window) []Anomaly {
+	if w == nil || (len(win.Rates) == 0 && len(win.Hists) == 0) {
+		return nil
+	}
+	var out []Anomaly
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, name := range sortedKeys(win.Rates) {
+		if a, ok := w.judgeLocked("rate:"+name, win.Rates[name], w.cfg.MinRate); ok {
+			out = append(out, Anomaly{Metric: name, Kind: "rate",
+				Value: a.v, Baseline: a.base, AtNs: win.End})
+		}
+	}
+	for _, name := range sortedKeys(win.Hists) {
+		p99 := float64(win.Hists[name].P99)
+		if a, ok := w.judgeLocked("p99:"+name, p99, float64(w.cfg.MinP99Ns)); ok {
+			out = append(out, Anomaly{Metric: name, Kind: "p99",
+				Value: a.v, Baseline: a.base, AtNs: win.End})
+		}
+	}
+	for _, a := range out {
+		w.jr.Record("obs", "anomaly", a.Kind, 0, int64(a.Value),
+			fmt.Sprintf("%s %.1f vs baseline %.1f", a.Metric, a.Value, a.Baseline))
+	}
+	return out
+}
+
+type verdict struct{ v, base float64 }
+
+// judgeLocked compares one value against its trailing baseline and
+// pushes it into the trail. Warm-up (fewer than BaselineWindows prior
+// observations) and sub-floor values never fire; a zero baseline
+// (flat-zero history) fires only above the floor — the floor IS the
+// baseline for a metric that has never moved.
+func (w *AnomalyWatcher) judgeLocked(key string, v, floor float64) (verdict, bool) {
+	t := w.trails[key]
+	if t == nil {
+		t = &trail{vals: make([]float64, w.cfg.BaselineWindows)}
+		w.trails[key] = t
+	}
+	base := t.mean()
+	warm := t.n >= w.cfg.BaselineWindows
+	t.push(v)
+	if !warm || v < floor {
+		t.firing = false
+		return verdict{}, false
+	}
+	threshold := base * w.cfg.Factor
+	if threshold < floor {
+		threshold = floor
+	}
+	if v < threshold {
+		t.firing = false
+		return verdict{}, false
+	}
+	if t.firing {
+		return verdict{}, false // still the same sustained spike
+	}
+	t.firing = true
+	return verdict{v: v, base: base}, true
+}

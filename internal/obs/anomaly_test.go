@@ -1,0 +1,90 @@
+package obs
+
+import "testing"
+
+func rateWin(end int64, name string, rate float64) Window {
+	return Window{Start: end - 1e9, End: end, Rates: map[string]float64{name: rate}}
+}
+
+func TestAnomalyEmptyWindowNoop(t *testing.T) {
+	w := NewAnomalyWatcher(nil, AnomalyConfig{BaselineWindows: 2})
+	if got := w.Observe(Window{Start: 0, End: 1e9}); got != nil {
+		t.Fatalf("empty window fired %v", got)
+	}
+	// An empty window must not count toward warm-up either.
+	w.Observe(rateWin(2e9, "fs.write#ws1", 100))
+	w.Observe(rateWin(3e9, "fs.write#ws1", 100))
+	w.Observe(Window{Start: 3e9, End: 4e9}) // empty: ignored
+	got := w.Observe(rateWin(5e9, "fs.write#ws1", 1000))
+	if len(got) != 1 {
+		t.Fatalf("warm metric should fire after 2 real windows, got %v", got)
+	}
+}
+
+func TestAnomalyFirstWindowSeedsBaseline(t *testing.T) {
+	w := NewAnomalyWatcher(nil, AnomalyConfig{BaselineWindows: 3})
+	// A fresh cluster's first windows establish the baseline; even a
+	// huge first value is not judged against anything.
+	for i := 0; i < 3; i++ {
+		if got := w.Observe(rateWin(int64(i+1)*1e9, "fs.write#ws1", 5000)); got != nil {
+			t.Fatalf("warm-up window %d fired %v", i, got)
+		}
+	}
+	// Now warmed at ~5000/s; staying flat must not fire...
+	if got := w.Observe(rateWin(4e9, "fs.write#ws1", 5200)); got != nil {
+		t.Fatalf("flat traffic fired %v", got)
+	}
+	// ...but 4x does, once, with the latch holding on sustain.
+	got := w.Observe(rateWin(5e9, "fs.write#ws1", 25000))
+	if len(got) != 1 || got[0].Kind != "rate" || got[0].Metric != "fs.write#ws1" {
+		t.Fatalf("spike: got %v", got)
+	}
+	if got := w.Observe(rateWin(6e9, "fs.write#ws1", 26000)); got != nil {
+		t.Fatalf("sustained spike re-fired: %v", got)
+	}
+}
+
+func TestAnomalyFlatZeroRate(t *testing.T) {
+	w := NewAnomalyWatcher(nil, AnomalyConfig{BaselineWindows: 2, MinRate: 10})
+	// Flat-zero history: idle metric, zero baseline, no divide-by-zero.
+	for i := 0; i < 5; i++ {
+		if got := w.Observe(rateWin(int64(i+1)*1e9, "petal.retries#ws1", 0)); got != nil {
+			t.Fatalf("flat zero fired %v", got)
+		}
+	}
+	// A blip under the MinRate floor stays quiet...
+	if got := w.Observe(rateWin(6e9, "petal.retries#ws1", 3)); got != nil {
+		t.Fatalf("sub-floor blip fired %v", got)
+	}
+	// ...a real burst above the floor fires against baseline 0.
+	got := w.Observe(rateWin(7e9, "petal.retries#ws1", 50))
+	if len(got) != 1 || got[0].Baseline >= 10 {
+		t.Fatalf("zero-baseline burst: got %v", got)
+	}
+}
+
+func TestAnomalyP99AndJournal(t *testing.T) {
+	j := NewJournal("cluster", 16, nil)
+	w := NewAnomalyWatcher(j, AnomalyConfig{BaselineWindows: 2, MinP99Ns: 1e6})
+	h := func(end int64, p99 int64) Window {
+		return Window{Start: end - 1e9, End: end,
+			Hists: map[string]HistStat{"fs.sync.latency#ws1": {Count: 10, P99: p99}}}
+	}
+	w.Observe(h(1e9, 2e6))
+	w.Observe(h(2e9, 2e6))
+	got := w.Observe(h(3e9, 40e6)) // 20x p99 spike
+	if len(got) != 1 || got[0].Kind != "p99" {
+		t.Fatalf("p99 spike: got %v", got)
+	}
+	evs := j.Events()
+	if len(evs) != 1 || evs[0].Layer != "obs" || evs[0].Op != "anomaly" || evs[0].Kind != "p99" {
+		t.Fatalf("journal annotation missing: %v", evs)
+	}
+	// Recovery then a second spike fires again (latch resets).
+	w.Observe(h(4e9, 2e6))
+	w.Observe(h(5e9, 2e6))
+	w.Observe(h(6e9, 2e6))
+	if got := w.Observe(h(7e9, 60e6)); len(got) != 1 {
+		t.Fatalf("second spike after recovery: got %v", got)
+	}
+}

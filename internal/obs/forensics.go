@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Filter selects a slice of the merged timeline. Zero values match
+// everything, so Filter{} is "the whole record".
+type Filter struct {
+	Key    uint64 // entity key (lock id, inode, chunk); 0 = any
+	Trace  uint64 // trace ID; 0 = any
+	Since  int64  // only events with T >= Since; 0 = any
+	Layer  string // "lockservice", "wal", ...; "" = any
+	Server string // journal owner; "" = any
+}
+
+func (f Filter) match(e Event) bool {
+	if f.Key != 0 && e.Key != f.Key {
+		return false
+	}
+	if f.Trace != 0 && e.Trace != f.Trace {
+		return false
+	}
+	if f.Since != 0 && e.T < f.Since {
+		return false
+	}
+	if f.Layer != "" && e.Layer != f.Layer {
+		return false
+	}
+	if f.Server != "" && e.Server != f.Server {
+		return false
+	}
+	return true
+}
+
+// MergeTimeline reconstructs one cross-server timeline from the given
+// journals. The merge orders events by timestamp but NEVER reorders
+// two events from the same journal: each step takes the earliest
+// journal head, so per-server program order — the only causal
+// guarantee we have when per-server clocks are skewed — is preserved
+// even where timestamps disagree with it.
+func MergeTimeline(journals []*Journal, f Filter) []Event {
+	heads := make([][]Event, 0, len(journals))
+	total := 0
+	for _, j := range journals {
+		evs := j.Events()
+		// Filter per journal before merging: dropping events cannot
+		// break per-journal order.
+		kept := evs[:0]
+		for _, e := range evs {
+			if f.match(e) {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) > 0 {
+			heads = append(heads, kept)
+			total += len(kept)
+		}
+	}
+	out := make([]Event, 0, total)
+	for len(heads) > 0 {
+		best := 0
+		for i := 1; i < len(heads); i++ {
+			hi, hb := heads[i][0], heads[best][0]
+			if hi.T < hb.T || (hi.T == hb.T && hi.Server < hb.Server) {
+				best = i
+			}
+		}
+		out = append(out, heads[best][0])
+		heads[best] = heads[best][1:]
+		if len(heads[best]) == 0 {
+			heads = append(heads[:best], heads[best+1:]...)
+		}
+	}
+	return out
+}
+
+// Namer renders an entity key for humans (e.g. fs.LockName for the
+// lockservice layer). May be nil.
+type Namer func(layer string, key uint64) string
+
+// RenderTimeline formats a merged timeline as one annotated line per
+// event, timestamps relative to the first event shown.
+func RenderTimeline(events []Event, namer Namer) string {
+	if len(events) == 0 {
+		return "(no events recorded)\n"
+	}
+	base := events[0].T
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-8s %-24s %-10s %-18s %s\n",
+		"t(+ms)", "server", "layer.op", "kind", "entity", "detail")
+	for _, e := range events {
+		ent := ""
+		if e.Key != 0 {
+			if namer != nil {
+				ent = namer(e.Layer, e.Key)
+			} else {
+				ent = fmt.Sprintf("%#x", e.Key)
+			}
+		}
+		detail := e.Detail
+		if e.Arg != 0 {
+			if detail != "" {
+				detail = fmt.Sprintf("%s arg=%d", detail, e.Arg)
+			} else {
+				detail = fmt.Sprintf("arg=%d", e.Arg)
+			}
+		}
+		if e.Trace != 0 {
+			detail = fmt.Sprintf("%s [trace %x]", detail, e.Trace)
+		}
+		fmt.Fprintf(&b, "%+12.3f %-8s %-24s %-10s %-18s %s\n",
+			float64(e.T-base)/1e6, e.Server, e.Layer+"."+e.Op, e.Kind,
+			ent, strings.TrimSpace(detail))
+	}
+	return b.String()
+}
+
+// ForensicsDump is the JSON artifact written on failure (health crit,
+// failed experiment assertion, explicit Cluster.DumpForensics): the
+// merged timeline plus whatever state the caller attaches. Schema is
+// versioned so CI consumers can evolve.
+type ForensicsDump struct {
+	Schema    string        `json:"schema"` // "frangipani-forensics/v1"
+	TakenAtNs int64         `json:"taken_at_ns"`
+	Reason    string        `json:"reason,omitempty"`
+	Servers   []string      `json:"servers,omitempty"`
+	Events    []Event       `json:"events"`
+	Health    *HealthReport `json:"health,omitempty"`
+	Anomalies []Anomaly     `json:"anomalies,omitempty"`
+}
+
+// ForensicsSchema is the current ForensicsDump schema tag.
+const ForensicsSchema = "frangipani-forensics/v1"
+
+// JSON renders the dump with stable indentation.
+func (d ForensicsDump) JSON() string {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return "{}"
+	}
+	return string(b) + "\n"
+}

@@ -111,11 +111,13 @@ type Registry struct {
 	now NowFunc
 	tr  *Tracer
 
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	restabs  map[string]*ResourceTable
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	restabs    map[string]*ResourceTable
+	journals   map[string]*Journal
+	journalOff bool
 }
 
 // NewRegistry builds a registry on the given clock. A nil now means
@@ -131,6 +133,7 @@ func NewRegistry(now NowFunc) *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		restabs:  make(map[string]*ResourceTable),
+		journals: make(map[string]*Journal),
 	}
 }
 

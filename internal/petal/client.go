@@ -70,6 +70,7 @@ type Client struct {
 	now    obs.NowFunc
 	tr     *obs.Tracer
 	opLats map[string]*obs.Histogram // read/readv/write/writev latency
+	jr     *obs.Journal              // flight recorder (nil-safe)
 }
 
 // ClientStats counts data-path RPC traffic.
@@ -158,6 +159,7 @@ func NewClientWithCarrier(w *sim.World, machine string, servers []string, carrie
 		}
 		c.now = reg.Now
 		c.tr = reg.Tracer()
+		c.jr = reg.Journal(machine)
 		c.opLats = map[string]*obs.Histogram{
 			"read":   reg.Histogram("petal.read.latency#" + machine),
 			"readv":  reg.Histogram("petal.readv.latency#" + machine),
@@ -371,6 +373,7 @@ func (c *Client) retryPause(attempt int, deadline sim.Time) {
 	if d > left {
 		d = left
 	}
+	c.jr.Record("petal", "io", "backoff", uint64(attempt), int64(d), "")
 	c.clock.Sleep(d)
 }
 
@@ -399,6 +402,7 @@ func (c *Client) readChunk(v VDiskID, chunk int64, off, length int, dst []byte) 
 				resp, err := c.call(srv, ReadReq{VDisk: v, Chunk: chunk, Off: off, Len: length}, dataTimeout)
 				if err != nil {
 					lastErr = err
+					c.jr.Record("petal", "read", "failover", uint64(chunk), 0, srv)
 					continue
 				}
 				rr, ok := resp.(ReadResp)
@@ -415,6 +419,7 @@ func (c *Client) readChunk(v VDiskID, chunk int64, off, length int, dst []byte) 
 					// over to the other replica, which "can ordinarily
 					// recover it" (§4).
 					lastErr = fmt.Errorf("petal read: %s", rr.Err)
+					c.jr.Record("petal", "read", "replica-fail", uint64(chunk), 0, srv)
 					continue
 				}
 				// A short (or nil, for a hole) response must not leave
@@ -487,6 +492,7 @@ func (c *Client) writeChunkSnap(v VDiskID, chunk int64, off int, snap []byte, le
 					// The message may still be queued at the carrier and
 					// delivered later; the snapshot cannot be recycled.
 					*leaked = true
+					c.jr.Record("petal", "write", "failover", uint64(chunk), 0, srv)
 					continue
 				}
 				wr, ok := resp.(WriteResp)
@@ -500,6 +506,7 @@ func (c *Client) writeChunkSnap(v VDiskID, chunk int64, off int, snap []byte, le
 				case ErrNoSuchVDisk.Error(), ErrStaleEpoch.Error():
 					// stale directory or epoch; refresh below
 				case ErrLeaseExpired.Error():
+					c.jr.Record("petal", "write", "lease-rejected", uint64(chunk), 0, srv)
 					return ErrLeaseExpired
 				default:
 					return fmt.Errorf("petal write: %s", wr.Err)

@@ -73,9 +73,10 @@ type Server struct {
 
 	tr       *obs.Tracer
 	reqC     *obs.Counter
-	inflight *obs.Gauge // data-path requests currently being served
-	depthHi  *obs.Gauge // high-water mark of inflight (queue depth)
-	missedG  *obs.Gauge // replica-lag backlog: chunks partners missed
+	inflight *obs.Gauge   // data-path requests currently being served
+	depthHi  *obs.Gauge   // high-water mark of inflight (queue depth)
+	missedG  *obs.Gauge   // replica-lag backlog: chunks partners missed
+	jr       *obs.Journal // flight recorder (nil-safe)
 }
 
 const dataTimeout = 5 * time.Second
@@ -120,6 +121,7 @@ func NewServerWithCarrier(w *sim.World, name string, peers []string, cfg ServerC
 		s.inflight = reg.Gauge("petal.server.inflight#" + name)
 		s.depthHi = reg.Gauge("petal.server.inflight.peak#" + name)
 		s.missedG = reg.Gauge("petal.server.missed#" + name)
+		s.jr = reg.Journal(name)
 	}
 
 	s.px = paxos.NewNode(name, peers, carrier, w.Clock, s.applyCmd)
@@ -172,6 +174,7 @@ func (s *Server) onLiveness(peer string, alive bool) {
 	if already || !s.amCoordinator() {
 		return
 	}
+	s.jr.Record("petal", "replica", "death", 0, 0, peer)
 	go func() {
 		_ = s.px.Submit(CmdSetAlive{Server: peer, Alive: false}, 60*time.Second)
 	}()
@@ -317,6 +320,7 @@ func (s *Server) antiEntropy() {
 			keys = append(keys, k)
 		}
 		s.mu.Unlock()
+		s.jr.Record("petal", "replica", "resync", 0, int64(len(keys)), p)
 		for _, key := range keys {
 			data, ok, err := s.st.getRaw(key)
 			if err != nil || !ok {
@@ -720,6 +724,7 @@ func (s *Server) Crash() {
 	s.mu.Lock()
 	s.crashed = true
 	s.mu.Unlock()
+	s.jr.Record("petal", "replica", "crash", 0, 0, "")
 	s.px.Crash()
 	s.det.Crash()
 }
@@ -731,6 +736,7 @@ func (s *Server) Restart() {
 	s.mu.Lock()
 	s.crashed = false
 	s.mu.Unlock()
+	s.jr.Record("petal", "replica", "restart", 0, 0, "resync from partners")
 	s.px.Recover()
 	s.det.Recover()
 	go s.rejoin()

@@ -71,6 +71,15 @@ type tcpObs struct {
 	decodeErrs  *obs.Counter
 	streamsPeak *obs.Gauge
 	sendRedials *obs.Counter
+	// reg, when wired, feeds connection lifecycle events (connect,
+	// drop, redial) into the per-host flight-recorder journals. Nil on
+	// an unwired carrier; Journal() on a nil registry no-ops.
+	reg *obs.Registry
+}
+
+// journal records one connection-lifecycle event into host's journal.
+func (o *tcpObs) journal(host, kind string, detail string) {
+	o.reg.Journal(host).Record("rpc", "conn", kind, 0, 0, detail)
 }
 
 // TCPStats is a snapshot of a carrier's wire accounting.
@@ -128,6 +137,7 @@ func (t *TCPCarrier) SetObs(reg *obs.Registry) {
 		decodeErrs:  reg.Counter("rpc.tcp.decode.errors"),
 		streamsPeak: reg.Gauge("rpc.tcp.streams.peak"),
 		sendRedials: reg.Counter("rpc.tcp.send.redials"),
+		reg:         reg,
 	})
 }
 
@@ -259,6 +269,7 @@ func (t *TCPCarrier) serveConn(name string, conn net.Conn) {
 		for _, st := range streams {
 			bufpool.Put(st.buf)
 		}
+		t.obsv.Load().journal(name, "drop", "inbound from "+from)
 	}()
 	var hdr [frameHdrLen]byte
 	for {
@@ -394,9 +405,11 @@ func (t *TCPCarrier) Send(from, to string, body any, size int) error {
 			t.dropConn(key, mc)
 			if attempt >= 2 {
 				bufpool.Put(m.hdrp)
+				t.obsv.Load().journal(from, "drop", "to "+to+": connection lost")
 				return fmt.Errorf("rpc: send %s->%s: connection lost", from, to)
 			}
 			t.obsv.Load().sendRedials.Inc()
+			t.obsv.Load().journal(from, "redial", "to "+to)
 		}
 	}
 }
@@ -448,8 +461,10 @@ func (t *TCPCarrier) getConn(key, from, to string) (*muxConn, error) {
 	}
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
+		t.obsv.Load().journal(from, "dial-fail", "to "+to+": "+err.Error())
 		return nil, fmt.Errorf("rpc: dial %s: %w", to, err)
 	}
+	t.obsv.Load().journal(from, "connect", "to "+to)
 	// Preamble before any frame.
 	pre := make([]byte, 0, len(muxMagic)+1+len(from))
 	pre = append(pre, muxMagic[:]...)

@@ -119,6 +119,7 @@ type Log struct {
 	appendLat *obs.Histogram
 	flushLat  *obs.Histogram
 	groupLat  *obs.Histogram
+	jr        *obs.Journal // flight recorder (nil-safe)
 }
 
 type recSpan struct {
@@ -160,6 +161,7 @@ func (l *Log) SetObs(reg *obs.Registry, instance string) {
 	l.appendLat = reg.Histogram("wal.append.latency#" + instance)
 	l.flushLat = reg.Histogram("wal.flush.latency#" + instance)
 	l.groupLat = reg.Histogram("wal.groupcommit.latency#" + instance)
+	l.jr = reg.Journal(instance)
 	l.mu.Unlock()
 }
 
@@ -235,6 +237,7 @@ func (l *Log) Append(ups []Update) (int64, error) {
 			}
 		}
 		cb := l.reclaim
+		l.jr.Record("wal", "reclaim", "full", uint64(through), l.head-l.tail, "")
 		if cb == nil || through == 0 {
 			// No reclaimer or nothing reclaimable: drop the oldest
 			// quarter accounting anyway (records there must already
@@ -248,6 +251,7 @@ func (l *Log) Append(ups []Update) (int64, error) {
 	}
 	l.nextSeq = seq
 	l.appends.Inc()
+	l.jr.Record("wal", "append", "ok", uint64(seq), need, "")
 	l.pending = append(l.pending, recSpan{seq: seq, start: l.head, end: l.head + need})
 	l.buf = append(l.buf, rec...)
 	l.head += need
@@ -308,6 +312,7 @@ func (l *Log) flushTo(target int64) error {
 			// Piggyback: wait for the in-flight write, then re-check.
 			ch := l.flushDone
 			l.groupMerges.Inc()
+			l.jr.Record("wal", "groupcommit", "merge", 0, target-l.durable, "")
 			now := l.now
 			l.mu.Unlock()
 			var gstart int64
@@ -345,6 +350,11 @@ func (l *Log) flushTo(target int64) error {
 		sp.Done()
 		if now != nil {
 			l.flushLat.Record(now() - fstart)
+		}
+		if err != nil {
+			l.jr.Record("wal", "flush", "fail", uint64(start), int64(len(buf)), err.Error())
+		} else {
+			l.jr.Record("wal", "flush", "ok", uint64(start), int64(len(buf)), "")
 		}
 
 		l.mu.Lock()
