@@ -33,7 +33,10 @@ bench:
 ## forensics-smoke kills a lock holder mid-write and asserts the merged
 ## flight-recorder timeline shows expiry -> recovery -> replay in causal
 ## order; obs-overhead asserts the recorder adds <= 1% serial Sync
-## latency. The final step persists this build's point on the perf
+## latency. lock-scaling asserts contended acquire p99 improves >= 2x
+## and throughput >= 1.5x from 1 to 4 lock-server shards, with the
+## stale-map nack/refetch path and a mid-run shard handoff exercised.
+## The final step persists this build's point on the perf
 ## trajectory as BENCH_<utc-timestamp>.json (schema frangipani-bench/v1).
 bench-smoke:
 	$(GO) run ./cmd/frangibench -quick -exp obs-smoke
@@ -41,6 +44,7 @@ bench-smoke:
 	CODEC_BUDGET=1 $(GO) test -run TestCodecBudget -count=1 ./internal/rpc/
 	$(GO) run ./cmd/frangibench -quick -exp codec-mux
 	$(GO) run ./cmd/frangibench -quick -exp forensics-smoke
+	$(GO) run ./cmd/frangibench -quick -exp lock-scaling
 	$(GO) run ./cmd/frangibench -quick -exp obs-overhead
 	$(GO) run ./cmd/frangibench -out BENCH_$$(date -u +%Y%m%dT%H%M%SZ).json
 

@@ -75,6 +75,9 @@ type ClusterConfig struct {
 	// testbed ran 7 Petal servers; lock servers can share machines).
 	PetalServers int
 	LockServers  int
+	// LockShards overrides the number of lock-table shards hashed
+	// across the lock servers (0 = the lock service default).
+	LockShards int
 	// DisksPerServer and DiskCapacity size each Petal server's local
 	// storage (the paper: 9 RZ29 disks per server).
 	DisksPerServer int
@@ -198,6 +201,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		c.Petals = append(c.Petals, petal.NewServer(w, n, c.petalNames, pcfg))
 	}
 	lcfg := cfg.FSConfig.Lock
+	if cfg.LockShards > 0 {
+		lcfg.Shards = cfg.LockShards
+	}
 	for i := 0; i < cfg.LockServers; i++ {
 		c.lockNames = append(c.lockNames, fmt.Sprintf("lock%d", i))
 	}
@@ -228,6 +234,21 @@ func (c *Cluster) Obs() *obs.Registry { return c.World.Obs }
 // LockServerNames returns the lock service membership.
 func (c *Cluster) LockServerNames() []string {
 	return append([]string(nil), c.lockNames...)
+}
+
+// LockShardMap returns the current epoch of the Paxos-decided shard
+// map and the owner of each lock-table shard.
+func (c *Cluster) LockShardMap() (epoch int64, owners []string) {
+	st := c.Locks[0].State()
+	return st.Epoch, append([]string(nil), st.Assignment...)
+}
+
+// LockShardFor reports which shard a lock ID hashes to and which lock
+// server currently serves that shard.
+func (c *Cluster) LockShardFor(lock uint64) (shard int, owner string) {
+	st := c.Locks[0].State()
+	shard = lockservice.ShardOf(lock, st.Shards)
+	return shard, st.Assignment[shard]
 }
 
 // PetalServerNames returns the Petal membership.

@@ -30,7 +30,7 @@ var names = []string{
 	"fig5", "fig6", "fig7", "fig7-norepl", "fig8", "fig9",
 	"wshare", "smallreads", "ablation-synclog", "writeback-pipeline",
 	"read-scaling", "obs-overhead", "obs-smoke", "contention-profile",
-	"codec-mux", "forensics-smoke",
+	"codec-mux", "lock-scaling", "forensics-smoke",
 }
 
 func main() {

@@ -69,18 +69,23 @@ func main() {
   ln -s <tgt> <path>   symlink
   stat <path>          show metadata
   sync                 flush this server
-  stats [json|trace|slow]
+  stats [json|trace|slow|shards]
                        cluster metrics snapshot; 'trace' renders the
                        span tree of the last completed operation,
-                       'slow' dumps recorded slow operations
+                       'slow' dumps recorded slow operations,
+                       'shards' shows the lock shard map (epoch,
+                       per-shard op counts, owners)
   watch [n]            render n windowed refreshes (default 5, 1/s):
                        per-window op rates and p99s, health verdict,
                        and the hot-lock table
   health [json]        evaluate the cluster health probes
   hotlocks [json]      top contended locks (acquire wait + revokes)
+                       with the shard and lock server each maps to
   forensics [json]     merged cross-server event timeline (flight
                        recorder); variants:
-                         forensics lock <id|inode/N>   one lock's story
+                         forensics lock <id|inode/N>   one lock's story,
+                           including shard-map epochs and handoffs
+                           covering its shard
                          forensics op <traceID-hex>    one operation
                          forensics last <dur>          e.g. last 2s
                        append 'json' for a machine-readable dump
@@ -173,6 +178,19 @@ func main() {
 				for _, d := range dumps {
 					fmt.Print(d)
 				}
+			case "shards":
+				epoch, owners := cluster.LockShardMap()
+				counters := reg.Snapshot().Counters
+				fmt.Printf("shard map epoch %d, %d shards across %s\n",
+					epoch, len(owners), strings.Join(cluster.LockServerNames(), " "))
+				fmt.Printf("  %-8s %-10s %10s\n", "shard", "owner", "ops")
+				for sh, owner := range owners {
+					ops := counters[fmt.Sprintf("lockservice.shard.ops#s%03d", sh)]
+					if ops == 0 {
+						continue
+					}
+					fmt.Printf("  s%03d     %-10s %10d\n", sh, owner, ops)
+				}
 			default:
 				fmt.Print(reg.Snapshot().Text())
 			}
@@ -221,14 +239,34 @@ func main() {
 			}
 			top := reg.Resources("lockservice.locks").TopK(10)
 			if arg(args, 1) == "json" {
-				printJSON(top)
+				type hotLock struct {
+					obs.ResourceStat
+					Shard int    `json:"shard"`
+					Owner string `json:"owner"`
+				}
+				out := make([]hotLock, len(top))
+				for i, st := range top {
+					sh, owner := cluster.LockShardFor(st.ID)
+					out[i] = hotLock{ResourceStat: st, Shard: sh, Owner: owner}
+				}
+				printJSON(out)
 				break
 			}
 			if len(top) == 0 {
 				fmt.Println("no lock acquisitions recorded yet")
 				break
 			}
-			fmt.Print(obs.RenderResources("hot locks", top))
+			fmt.Printf("hot locks:\n  %-28s %10s %12s %8s  %-6s %s\n",
+				"resource", "acquires", "wait (ms)", "revokes", "shard", "owner")
+			for _, st := range top {
+				name := st.Name
+				if name == "" {
+					name = fmt.Sprintf("%#x", st.ID)
+				}
+				sh, owner := cluster.LockShardFor(st.ID)
+				fmt.Printf("  %-28s %10d %12.3f %8d  s%03d   %s\n",
+					name, st.Acquires, float64(st.WaitNs)/1e6, st.Events, sh, owner)
+			}
 		case "forensics":
 			if cluster.Obs() == nil {
 				fmt.Println("observability disabled")
@@ -291,10 +329,14 @@ func printJSON(v any) {
 
 // forensics implements the `forensics` shell command: it merges every
 // server's flight-recorder journal into one causally-ordered timeline,
-// optionally narrowed to a lock, a trace, or a recent window.
+// optionally narrowed to a lock, a trace, or a recent window. A lock's
+// story also carries the shard-map epoch changes, handoffs, and
+// wrong-shard nacks that decided where the lock was served, so shard
+// ownership over time is visible alongside the grants and revokes.
 func forensics(cluster *frangipani.Cluster, args []string) error {
 	var f obs.Filter
 	var traceOut string
+	var lockID uint64
 	asJSON := false
 	for len(args) > 0 {
 		switch args[0] {
@@ -309,7 +351,10 @@ func forensics(cluster *frangipani.Cluster, args []string) error {
 			if !ok {
 				return fmt.Errorf("cannot parse lock %q", args[1])
 			}
-			f.Key, f.Layer = id, "lockservice"
+			// Filter only by layer here: shardmap/handoff events are
+			// keyed to shards, not locks, and would be dropped by a
+			// Key filter. lockEvents narrows per event below.
+			lockID, f.Layer = id, "lockservice"
 			args = args[2:]
 		case "op":
 			if len(args) < 2 {
@@ -336,15 +381,33 @@ func forensics(cluster *frangipani.Cluster, args []string) error {
 			return fmt.Errorf("unknown forensics argument %q", args[0])
 		}
 	}
+	events := cluster.Timeline(f)
+	if lockID != 0 {
+		events = lockEvents(events, lockID)
+	}
 	if asJSON {
 		dump := cluster.Forensics("cli request")
-		dump.Events = cluster.Timeline(f)
+		dump.Events = events
 		fmt.Println(dump.JSON())
 		return nil
 	}
 	if traceOut != "" {
 		fmt.Print(traceOut)
 	}
-	fmt.Print(obs.RenderTimeline(cluster.Timeline(f), cluster.EntityNamer()))
+	fmt.Print(obs.RenderTimeline(events, cluster.EntityNamer()))
 	return nil
+}
+
+// lockEvents keeps the events that tell one lock's story: its own
+// grants/revokes/releases plus every shard-map epoch change, handoff,
+// and wrong-shard nack — the routing history that determines which
+// server was serving the lock at each moment.
+func lockEvents(events []obs.Event, lockID uint64) []obs.Event {
+	kept := events[:0]
+	for _, e := range events {
+		if e.Key == lockID || e.Op == "shardmap" || e.Op == "handoff" || e.Op == "shard" {
+			kept = append(kept, e)
+		}
+	}
+	return kept
 }

@@ -512,6 +512,7 @@ func (o Options) All() ([]*Table, error) {
 		{"obs-overhead", o.ObsOverhead},
 		{"obs-smoke", o.ObsSmoke},
 		{"codec-mux", o.CodecMux},
+		{"lock-scaling", o.LockScaling},
 		{"forensics-smoke", o.ForensicsSmoke},
 	}
 	var out []*Table
@@ -564,6 +565,8 @@ func (o Options) ByName(name string) (*Table, error) {
 		return o.ContentionProfile()
 	case "codec-mux":
 		return o.CodecMux()
+	case "lock-scaling":
+		return o.LockScaling()
 	case "forensics-smoke":
 		return o.ForensicsSmoke()
 	}

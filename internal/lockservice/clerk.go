@@ -26,12 +26,27 @@ type clkLock struct {
 	epoch int64
 }
 
+// sendOp is one queued outbound lock operation, drained by the sender
+// demon into per-shard-server batches.
+type sendOp struct {
+	release bool
+	lock    uint64
+	mode    Mode  // release: the new mode; acquire: recomputed at flush
+	epoch   int64 // acquire: tenancy epoch at enqueue time
+}
+
 // Clerk is the lock service module linked into each Frangipani
 // server ("a clerk module linked into each Frangipani server", §6).
 // Locks are sticky: Unlock releases the caller's use but the clerk
 // keeps the grant until some other clerk needs a conflicting lock,
 // at which point the revoke callback (cache flush / invalidate) runs
 // and the lock is downgraded or released.
+//
+// Outbound acquires and releases are not transmitted inline: they are
+// enqueued on a FIFO and drained by a sender demon that groups
+// consecutive operations per owning shard server into AcquireBatch /
+// ReleaseBatch messages, so a burst of lock traffic costs one network
+// message per server rather than one per lock.
 type Clerk struct {
 	machine string
 	table   string
@@ -44,7 +59,7 @@ type Clerk struct {
 	cond      *sync.Cond
 	locks     map[uint64]*clkLock
 	epochGen  int64         // source of per-lock request epochs
-	groupVer  map[int]int64 // fencing floor per lock group
+	shardVer  map[int]int64 // fencing floor per lock shard
 	state     GState
 	stateOK   bool
 	leaseID   uint64
@@ -54,6 +69,16 @@ type Clerk struct {
 	closed    bool
 	leaseLost bool
 	cancels   []func()
+
+	// Outbound op queue, drained by the sender demon.
+	outq     []sendOp
+	sendCond *sync.Cond
+	// renewing guards against renewal-tick pileup: a slow shard server
+	// must not consume the whole renewal window by stacking ticks.
+	renewing bool
+	// refreshing single-flights shard-map refetches triggered by
+	// wrong-shard nacks and epoch piggybacks.
+	refreshing bool
 
 	// onRevoke runs before a lock is downgraded (to Shared) or
 	// released (to None): flush dirty data, then invalidate on full
@@ -70,13 +95,16 @@ type Clerk struct {
 	Trace func(format string, args ...any)
 
 	// Observability; set once at construction.
-	now    obs.NowFunc
-	tr     *obs.Tracer
-	acqLat *obs.Histogram
-	revLat *obs.Histogram
-	relLat *obs.Histogram
-	resTab *obs.ResourceTable // per-lock contention (hot-lock table)
-	jr     *obs.Journal       // flight recorder (nil-safe)
+	now        obs.NowFunc
+	tr         *obs.Tracer
+	acqLat     *obs.Histogram
+	revLat     *obs.Histogram
+	relLat     *obs.Histogram
+	batchC     *obs.Counter       // outbound batch messages
+	batchOpsC  *obs.Counter       // lock ops carried in those batches
+	renewSkipC *obs.Counter       // renew ticks skipped (predecessor in flight)
+	resTab     *obs.ResourceTable // per-lock contention (hot-lock table)
+	jr         *obs.Journal       // flight recorder (nil-safe)
 }
 
 func (c *Clerk) trace(format string, args ...any) {
@@ -101,15 +129,19 @@ func NewClerkWithCarrier(w *sim.World, machine, table string, servers []string, 
 		servers:  append([]string(nil), servers...),
 		locks:    make(map[uint64]*clkLock),
 		acks:     make(map[string]sim.Time),
-		groupVer: make(map[int]int64),
+		shardVer: make(map[int]int64),
 	}
 	c.cond = sync.NewCond(&c.mu)
+	c.sendCond = sync.NewCond(&c.mu)
 	if reg := w.Obs; reg != nil {
 		c.now = reg.Now
 		c.tr = reg.Tracer()
 		c.acqLat = reg.Histogram("lockservice.acquire.latency#" + machine)
 		c.revLat = reg.Histogram("lockservice.revoke.latency#" + machine)
 		c.relLat = reg.Histogram("lockservice.release.latency#" + machine)
+		c.batchC = reg.Counter("lockservice.clerk.batches#" + machine)
+		c.batchOpsC = reg.Counter("lockservice.clerk.batched_ops#" + machine)
+		c.renewSkipC = reg.Counter("lockservice.renew.skipped#" + machine)
 		c.resTab = reg.Resources("lockservice.locks")
 		c.jr = reg.Journal(machine)
 	}
@@ -160,6 +192,7 @@ func (c *Clerk) Open() error {
 	}
 	c.mu.Unlock()
 	_ = c.refreshState()
+	go c.sender()
 	idle := c.cfg.IdleDiscard
 	if idle <= 0 {
 		idle = DefaultIdleDiscard
@@ -230,6 +263,7 @@ func (c *Clerk) Close() {
 	c.closed = true
 	c.mu.Unlock()
 	c.cond.Broadcast()
+	c.sendCond.Broadcast()
 	for _, cancel := range c.cancels {
 		cancel()
 	}
@@ -252,13 +286,14 @@ func (c *Clerk) Abandon() {
 	c.mu.Unlock()
 	c.jr.Record("lockservice", "session", "abandon", 0, 0, "crash: lease left to expire")
 	c.cond.Broadcast()
+	c.sendCond.Broadcast()
 	for _, cancel := range c.cancels {
 		cancel()
 	}
 	c.ep.Close()
 }
 
-// refreshState fetches the lock-group assignment.
+// refreshState fetches the shard map.
 func (c *Clerk) refreshState() error {
 	for _, s := range c.servers {
 		r, err := c.ep.Call(Addr(s), StateReq{}, 60*time.Second)
@@ -278,6 +313,22 @@ func (c *Clerk) refreshState() error {
 	return ErrNoServer
 }
 
+// noteNewEpoch reacts to a server advertising a shard-map epoch newer
+// than ours (piggybacked on RenewAck or quoted by a WrongShard nack):
+// refetch the map once, single-flighted. Called with c.mu held.
+func (c *Clerk) noteNewEpochLocked(epoch int64) {
+	if !c.stateOK || epoch <= c.state.Epoch || c.refreshing || c.closed || c.leaseLost {
+		return
+	}
+	c.refreshing = true
+	go func() {
+		_ = c.refreshState()
+		c.mu.Lock()
+		c.refreshing = false
+		c.mu.Unlock()
+	}()
+}
+
 func (c *Clerk) serverFor(lock uint64) string {
 	c.mu.Lock()
 	ok := c.stateOK
@@ -295,6 +346,20 @@ func (c *Clerk) serverFor(lock uint64) string {
 		c.mu.Unlock()
 	}
 	return srv
+}
+
+// shardOfLocked maps a lock to its shard under the current map (or
+// the default shard count if the map is not yet known — before the
+// first refreshState completes no grants are in flight anyway).
+func (c *Clerk) shardOfLocked(lock uint64) int {
+	if c.stateOK {
+		return c.state.ShardOf(lock)
+	}
+	shards := c.cfg.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	return ShardOf(lock, shards)
 }
 
 // Lock acquires the lock in the given mode, blocking until granted.
@@ -350,11 +415,8 @@ func (c *Clerk) lockWait(lock uint64, mode Mode) error {
 		// While a revoke is pending or in flight, no request may be
 		// sent: a request racing ahead of our release would make the
 		// server re-grant from stale holder state.
-		if !l.revokePending && !l.revoking && c.requestLocked(lock, l) {
-			// The lock was dropped to send the request; re-check the
-			// grant condition before sleeping so a grant that raced
-			// the send is not missed.
-			continue
+		if !l.revokePending && !l.revoking {
+			c.requestLocked(lock, l)
 		}
 		c.cond.Wait()
 	}
@@ -402,6 +464,30 @@ func (c *Clerk) Unlock(lock uint64) {
 	c.cond.Broadcast()
 }
 
+// InjectStaleShardMap is a fault-injection hook: it deliberately
+// corrupts this clerk's view of the shard map — every shard's owner
+// is rotated to the next server and the view is marked older than the
+// authoritative one — so the clerk's next batches are misrouted until
+// a wrong-shard nack forces a refetch. Tests and experiments use it
+// to exercise the stale-map retry path deterministically: a real
+// reassignment refreshes clerks almost immediately (the new owner's
+// sync request triggers a refetch), so racing one only nacks by luck.
+func (c *Clerk) InjectStaleShardMap() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.stateOK || len(c.servers) < 2 {
+		return
+	}
+	idx := make(map[string]int, len(c.servers))
+	for i, s := range c.servers {
+		idx[s] = i
+	}
+	for sh, srv := range c.state.Assignment {
+		c.state.Assignment[sh] = c.servers[(idx[srv]+1)%len(c.servers)]
+	}
+	c.state.Version--
+}
+
 // Held reports the clerk's current granted mode for a lock.
 func (c *Clerk) Held(lock uint64) Mode {
 	c.mu.Lock()
@@ -435,40 +521,113 @@ func (c *Clerk) lockLocked(lock uint64) *clkLock {
 	return l
 }
 
-// requestLocked (re)sends the lock request, rate-limited. The send
-// happens with the clerk lock held: the network assigns its FIFO
-// sequence synchronously inside Send, so holding the lock guarantees
-// that requests and releases reach the wire in state-machine order.
-func (c *Clerk) requestLocked(lock uint64, l *clkLock) bool {
+// enqueueLocked appends an outbound op for the sender demon. Queue
+// order is wire order per lock: a release enqueued during a revoke
+// always precedes any request of the next tenancy (which carries a
+// newer epoch), so the server never sees them inverted.
+func (c *Clerk) enqueueLocked(op sendOp) {
+	c.outq = append(c.outq, op)
+	c.sendCond.Signal()
+}
+
+// requestLocked enqueues a (re)send of the lock request, rate-limited.
+func (c *Clerk) requestLocked(lock uint64, l *clkLock) {
 	now := c.w.Clock.Now()
 	// Rate-limit retransmissions — but never suppress the FIRST
 	// request (lastReq == 0 means "never sent") or an UPGRADE (a
 	// request for a stronger mode than the last one transmitted).
 	if l.lastReq != 0 && l.want <= l.lastReqMode &&
 		sim.Duration(now-l.lastReq) < c.cfg.RevokeRetry/2 {
-		return false
-	}
-	if !c.stateOK {
-		c.trace("request lock=%x suppressed: no routing state", lock)
-		return false // routing unknown; retry ticker will refresh
+		return
 	}
 	l.lastReq = now
 	l.lastReqMode = l.want
-	srv := c.state.ServerFor(lock)
-	c.trace("request lock=%x mode=%v -> %s", lock, l.want, srv)
-	c.jr.Record("lockservice", "acquire", "wait", lock, int64(l.want), srv)
-	_ = c.ep.Cast(Addr(srv), ReqMsg{Clerk: c.machine, Table: c.table, Lock: lock, Mode: l.want, Epoch: l.epoch})
-	return true
+	c.trace("request lock=%x mode=%v enqueued", lock, l.want)
+	c.jr.Record("lockservice", "acquire", "wait", lock, int64(l.want), "")
+	c.enqueueLocked(sendOp{lock: lock, mode: l.want, epoch: l.epoch})
 }
 
-// sendReleaseLocked transmits a release/downgrade with the clerk lock
-// held, for the same ordering reason as requestLocked.
+// sendReleaseLocked enqueues a release/downgrade.
 func (c *Clerk) sendReleaseLocked(lock uint64, newMode Mode) {
-	if !c.stateOK {
-		return // server will re-revoke; we will answer then
+	c.enqueueLocked(sendOp{release: true, lock: lock, mode: newMode})
+}
+
+// sender is the clerk's outbound demon: it drains the op queue and
+// transmits per-shard-server batches. It exits when the clerk closes.
+func (c *Clerk) sender() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		for len(c.outq) == 0 && !c.closed {
+			c.sendCond.Wait()
+		}
+		if c.closed {
+			return
+		}
+		if !c.stateOK {
+			c.mu.Unlock()
+			err := c.refreshState()
+			c.mu.Lock()
+			if err != nil || !c.stateOK {
+				// Routing unknown: drop the drain. Pending wants are
+				// re-enqueued by the retry ticker and lost releases are
+				// re-asked-for by the server's revoke retry.
+				c.outq = nil
+				continue
+			}
+		}
+		ops := c.outq
+		c.outq = nil
+		c.flushLocked(ops)
 	}
-	srv := c.state.ServerFor(lock)
-	_ = c.ep.Cast(Addr(srv), RelMsg{Clerk: c.machine, Table: c.table, Lock: lock, NewMode: newMode})
+}
+
+// flushLocked groups a drain of the op queue into per-server batches
+// and transmits them with c.mu held: the network assigns its FIFO
+// sequence synchronously inside Send, so holding the lock guarantees
+// batches reach the wire in state-machine order.
+//
+// Releases are sent before acquires. Within one drain that inversion
+// is safe: a queued acquire older than a queued release of the same
+// lock carries a pre-release tenancy epoch and is discarded by the
+// revalidation below, so the only surviving same-lock order is
+// release-then-reacquire — exactly the order the batches transmit.
+func (c *Clerk) flushLocked(ops []sendOp) {
+	mapEpoch := c.state.Epoch
+	relBySrv := make(map[string][]BatchRel)
+	acqBySrv := make(map[string][]BatchReq)
+	var order []string
+	seen := make(map[string]bool)
+	for _, op := range ops {
+		srv := c.state.ServerFor(op.lock)
+		if !seen[srv] {
+			seen[srv] = true
+			order = append(order, srv)
+		}
+		if op.release {
+			relBySrv[srv] = append(relBySrv[srv], BatchRel{Lock: op.lock, NewMode: op.mode})
+			continue
+		}
+		// Revalidate acquires at flush time: the want may have been
+		// granted, released, or superseded since it was enqueued.
+		l := c.locks[op.lock]
+		if l == nil || l.epoch != op.epoch || l.revokePending || l.revoking || l.want <= l.mode {
+			continue
+		}
+		acqBySrv[srv] = append(acqBySrv[srv], BatchReq{Lock: op.lock, Mode: l.want, Epoch: l.epoch})
+	}
+	for _, srv := range order {
+		if rels := relBySrv[srv]; len(rels) > 0 {
+			c.batchC.Inc()
+			c.batchOpsC.Add(int64(len(rels)))
+			_ = c.ep.Cast(Addr(srv), ReleaseBatch{Clerk: c.machine, Table: c.table, MapEpoch: mapEpoch, Rels: rels})
+		}
+		if reqs := acqBySrv[srv]; len(reqs) > 0 {
+			c.batchC.Inc()
+			c.batchOpsC.Add(int64(len(reqs)))
+			_ = c.ep.Cast(Addr(srv), AcquireBatch{Clerk: c.machine, Table: c.table, MapEpoch: mapEpoch, Reqs: reqs})
+		}
+	}
 }
 
 // retryRequests retransmits wants that have not been granted and
@@ -545,8 +704,9 @@ func (c *Clerk) processRevoke(lock uint64) {
 	l.epoch = c.epochGen
 	l.lastReq = 0
 	l.lastReqMode = None
-	// Transmit the release before clearing the revoking flag, with
-	// the clerk lock held: no request of ours can overtake it.
+	// Enqueue the release before clearing the revoking flag, with the
+	// clerk lock held: no request of ours can overtake it in the
+	// sender's FIFO.
 	c.jr.Record("lockservice", "release", "sent", lock, int64(target), "")
 	c.sendReleaseLocked(lock, target)
 	l.revokePending = false
@@ -562,6 +722,8 @@ func (c *Clerk) handle(from string, body any) any {
 		c.onGrant(m)
 	case RevokeMsg:
 		c.onRevokeMsg(m)
+	case WrongShard:
+		c.onWrongShard(m)
 	case SyncReq:
 		return c.onSync(m)
 	case RecoverReq:
@@ -569,6 +731,7 @@ func (c *Clerk) handle(from string, body any) any {
 	case RenewAck:
 		c.mu.Lock()
 		c.acks[m.Server] = c.w.Clock.Now()
+		c.noteNewEpochLocked(m.MapEpoch)
 		c.mu.Unlock()
 	}
 	return nil
@@ -584,8 +747,8 @@ func (c *Clerk) onGrant(m GrantMsg) {
 		c.mu.Unlock()
 		return
 	}
-	c.trace("grant lock=%x mode=%v ver=%d epoch=%d floor=%d", m.Lock, m.Mode, m.Ver, m.Epoch, c.groupVer[Group(m.Lock)])
-	if m.Ver != 0 && m.Ver < c.groupVer[Group(m.Lock)] {
+	c.trace("grant lock=%x mode=%v ver=%d epoch=%d floor=%d", m.Lock, m.Mode, m.Ver, m.Epoch, c.shardVer[c.shardOfLocked(m.Lock)])
+	if m.Ver != 0 && m.Ver < c.shardVer[c.shardOfLocked(m.Lock)] {
 		// Grant from a deposed lock server that has not yet applied
 		// the reassignment; the new server's sync is authoritative.
 		c.mu.Unlock()
@@ -658,23 +821,67 @@ func (c *Clerk) onRevokeMsg(m RevokeMsg) {
 	}
 }
 
+// onWrongShard handles a stale-routing nack: refetch the shard map,
+// then re-drive every nacked lock against its new owner — re-request
+// if we still want it, or re-send the compliant release if the nacked
+// message was a release (so no acknowledged release is ever lost to a
+// handoff). The refetch runs on its own goroutine: handlers execute
+// on the delivery lane and must not issue blocking Calls.
+func (c *Clerk) onWrongShard(m WrongShard) {
+	if m.Table != c.table || len(m.Locks) == 0 {
+		return
+	}
+	c.trace("wrong-shard nack from %s: %d locks, epoch %d", m.Server, len(m.Locks), m.Epoch)
+	c.jr.Record("lockservice", "shard", "wrongshard", m.Locks[0], int64(len(m.Locks)), "nack from "+m.Server)
+	locks := append([]uint64(nil), m.Locks...)
+	go func() {
+		_ = c.refreshState()
+		c.mu.Lock()
+		if c.closed || c.leaseLost {
+			c.mu.Unlock()
+			return
+		}
+		for _, lk := range locks {
+			l := c.locks[lk]
+			if l == nil {
+				continue
+			}
+			if l.want > l.mode && !l.revokePending && !l.revoking {
+				l.lastReq = 0 // force the retry past the rate limit
+				c.requestLocked(lk, l)
+			} else if l.want <= l.mode && !l.revokePending && !l.revoking {
+				// The nacked message was (or might have been) a release;
+				// refresh the new owner's view of our hold. Guarded by
+				// the same not-wanting rule as the compliant-refresh in
+				// onRevokeMsg.
+				c.sendReleaseLocked(lk, l.mode)
+			}
+		}
+		c.mu.Unlock()
+	}()
+}
+
 func (c *Clerk) onSync(m SyncReq) any {
 	if m.Table != c.table {
 		return nil
 	}
-	groups := make(map[int]bool, len(m.Groups))
-	for _, g := range m.Groups {
-		groups[g] = true
+	shards := make(map[int]bool, len(m.Shards))
+	for _, sh := range m.Shards {
+		shards[sh] = true
+	}
+	nshards := m.NumShards
+	if nshards <= 0 {
+		nshards = DefaultShards
 	}
 	c.mu.Lock()
-	for g := range groups {
-		if m.Ver > c.groupVer[g] {
-			c.groupVer[g] = m.Ver
+	for sh := range shards {
+		if m.Ver > c.shardVer[sh] {
+			c.shardVer[sh] = m.Ver
 		}
 	}
 	var held []HeldLock
 	for id, l := range c.locks {
-		if l.mode > None && groups[Group(id)] {
+		if l.mode > None && shards[ShardOf(id, nshards)] {
 			held = append(held, HeldLock{Lock: id, Mode: l.mode})
 		}
 	}
@@ -709,15 +916,34 @@ func (c *Clerk) onRecoverReq(m RecoverReq) {
 // renew broadcasts lease renewals and checks expiry. The lease is
 // considered valid while a majority of lock servers acknowledged a
 // renewal within the lease window, which keeps the clerk's view
-// conservative across partitions.
+// conservative across partitions. One renewal is ever in flight: a
+// tick arriving while its predecessor still waits on a slow server is
+// skipped (and journaled), so a straggler cannot stack renewal rounds
+// and consume the whole window.
 func (c *Clerk) renew() {
 	c.mu.Lock()
 	if c.closed || c.leaseLost || !c.opened {
 		c.mu.Unlock()
 		return
 	}
+	if c.renewing {
+		c.renewSkipC.Inc()
+		c.jr.Record("lockservice", "lease", "renew.skipped", 0, 0, "previous renewal still in flight")
+		c.mu.Unlock()
+		return
+	}
+	c.renewing = true
 	lease := c.leaseID
+	mapEpoch := int64(0)
+	if c.stateOK {
+		mapEpoch = c.state.Epoch
+	}
 	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.renewing = false
+		c.mu.Unlock()
+	}()
 
 	// Fan out to every server concurrently and settle as soon as the
 	// outcome is decided at majority rank: ExpiresAt is fixed once a
@@ -730,7 +956,7 @@ func (c *Clerk) renew() {
 	results := make(chan result, len(c.servers))
 	for _, s := range c.servers {
 		go func(s string) {
-			r, err := c.ep.Call(Addr(s), RenewMsg{Clerk: c.machine, LeaseID: lease}, c.cfg.LeaseDuration/3)
+			r, err := c.ep.Call(Addr(s), RenewMsg{Clerk: c.machine, LeaseID: lease, MapEpoch: mapEpoch}, c.cfg.LeaseDuration/3)
 			if err != nil {
 				results <- result{}
 				return
@@ -742,6 +968,7 @@ func (c *Clerk) renew() {
 				}
 				c.mu.Lock()
 				c.acks[ack.Server] = c.w.Clock.Now()
+				c.noteNewEpochLocked(ack.MapEpoch)
 				c.mu.Unlock()
 				results <- result{acked: true}
 				return

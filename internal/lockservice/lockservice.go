@@ -4,13 +4,25 @@
 // 64-bit integers. Locks are sticky — a clerk retains a lock until
 // another clerk needs a conflicting one. Client failure is handled
 // with leases; lock server failure is handled by reassigning lock
-// groups across the surviving servers (via Paxos-replicated global
-// state) and recovering lock state from the clerks.
+// shards across the surviving servers (via a Paxos-replicated,
+// epoch-numbered shard map) and recovering lock state from the
+// clerks.
+//
+// The lock table is partitioned into shards by hash(lockID); the
+// shard map (shard -> owning server) is part of the replicated global
+// state and carries an epoch that advances on every reassignment. A
+// clerk routing with a stale map is rejected with a WrongShard nack
+// carrying the server's epoch, refetches the map, and retries against
+// the new owner — so no server ever serves a lock it does not own.
 //
 // Clerks and lock servers communicate via asynchronous messages
 // (request, grant, revoke, release) rather than RPC, exactly as the
 // paper prescribes; every handler is idempotent so the protocol
-// tolerates message loss.
+// tolerates message loss. The clerk->server direction is vectored:
+// per-shard-server AcquireBatch/ReleaseBatch messages carry many lock
+// operations in one network message, and lease renewal is one
+// RenewMsg per server (never per lock) with the shard-map epoch
+// piggybacked both ways.
 package lockservice
 
 import (
@@ -24,6 +36,7 @@ import (
 func init() {
 	for _, v := range []any{
 		ReqMsg{}, RelMsg{}, GrantMsg{}, RevokeMsg{},
+		AcquireBatch{}, ReleaseBatch{}, WrongShard{}, BatchReq{}, BatchRel{},
 		OpenReq{}, OpenResp{}, CloseReq{},
 		RenewMsg{}, RenewAck{}, RenewalsReq{}, RenewalsResp{},
 		StateReq{}, StateResp{}, SyncReq{}, SyncResp{}, HeldLock{},
@@ -57,13 +70,28 @@ func (m Mode) String() string {
 	return "invalid"
 }
 
-// NumGroups is the number of lock groups: "locks are partitioned into
-// about one hundred distinct lock groups, and are assigned to servers
-// by group, not individually" (§6).
-const NumGroups = 100
+// DefaultShards is the default number of lock-table shards: "locks
+// are partitioned into about one hundred distinct lock groups, and
+// are assigned to servers by group, not individually" (§6). The count
+// is configurable per deployment via Config.Shards.
+const DefaultShards = 100
 
-// Group maps a lock id to its group.
-func Group(lock uint64) int { return int(lock % NumGroups) }
+// ShardOf maps a lock id to its shard by hash. Frangipani lock ids
+// are structured (inode numbers, bitmap segments), so a plain modulus
+// would skew entire id ranges onto a few shards; the splitmix64
+// finalizer spreads them uniformly.
+func ShardOf(lock uint64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	x := lock + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(shards))
+}
 
 // Timing defaults, in simulated time. The paper's lease is 30 s with
 // a 15 s safety margin.
@@ -94,9 +122,10 @@ const (
 	ClerkBytesPerLock   = 232
 )
 
-// Wire messages. Clerk -> server: ReqMsg, RelMsg, OpenReq, CloseReq,
-// RenewMsg, SyncResp, RecoveryDone. Server -> clerk: GrantMsg,
-// RevokeMsg, RenewAck, SyncReq, RecoverReq.
+// Wire messages. Clerk -> server: AcquireBatch, ReleaseBatch (and
+// their single-op forms ReqMsg, RelMsg), OpenReq, CloseReq, RenewMsg,
+// SyncResp, RecoveryDone. Server -> clerk: GrantMsg, RevokeMsg,
+// WrongShard, RenewAck, SyncReq, RecoverReq.
 type (
 	// ReqMsg asks for a lock in the given mode. Clerks retransmit it
 	// until granted. Epoch is the clerk's per-lock request epoch: it
@@ -119,9 +148,54 @@ type (
 		Lock    uint64
 		NewMode Mode
 	}
+	// BatchReq is one lock request inside an AcquireBatch; fields
+	// mirror ReqMsg.
+	BatchReq struct {
+		Lock  uint64
+		Mode  Mode
+		Epoch int64
+	}
+	// AcquireBatch carries every pending lock request a clerk has for
+	// one shard server in a single message: the clerk's sender demon
+	// drains its queue and groups requests per owning server, so a
+	// burst of N acquires costs one network message, not N. MapEpoch
+	// is the shard-map epoch the clerk routed with.
+	AcquireBatch struct {
+		Clerk    string
+		Table    string
+		MapEpoch int64
+		Reqs     []BatchReq
+	}
+	// BatchRel is one release/downgrade inside a ReleaseBatch; fields
+	// mirror RelMsg.
+	BatchRel struct {
+		Lock    uint64
+		NewMode Mode
+	}
+	// ReleaseBatch is the vectored form of RelMsg, grouped per shard
+	// server like AcquireBatch.
+	ReleaseBatch struct {
+		Clerk    string
+		Table    string
+		MapEpoch int64
+		Rels     []BatchRel
+	}
+	// WrongShard rejects operations on locks the receiving server does
+	// not own: the clerk routed with a stale shard map. Epoch is the
+	// server's current map epoch; a clerk behind it refetches the map
+	// and retries the listed locks against the new owners. Lost nacks
+	// are harmless: acquires are retransmitted by the clerk's retry
+	// ticker and releases are re-asked-for by the server's revoke
+	// retry.
+	WrongShard struct {
+		Server string
+		Table  string
+		Epoch  int64
+		Locks  []uint64
+	}
 	// GrantMsg tells a clerk it now holds the lock in Mode. Ver is
 	// the granting server's global-state version; clerks reject
-	// grants older than the version at which the lock's group was
+	// grants older than the version at which the lock's shard was
 	// last synced to a new server, fencing grants from a deposed
 	// server that has not yet applied the reassignment.
 	GrantMsg struct {
@@ -158,20 +232,26 @@ type (
 		Clerk string
 		Table string
 	}
-	// RenewMsg renews a lease; broadcast by clerks to all servers.
+	// RenewMsg renews a lease; one per lock server (never per lock),
+	// with the clerk's shard-map epoch piggybacked so the renewal
+	// round doubles as a map-staleness probe.
 	RenewMsg struct {
-		Clerk   string
-		LeaseID uint64
+		Clerk    string
+		LeaseID  uint64
+		MapEpoch int64
 	}
 	// RenewAck confirms a renewal from one server. Valid is false
 	// when the server knows of no live session with that lease — the
 	// session expired and was recovered — so a zombie clerk that was
 	// stalled past its lease learns its fate at the next renewal
-	// instead of continuing on stale locks.
+	// instead of continuing on stale locks. MapEpoch is the server's
+	// shard-map epoch; a clerk behind it refetches the map without
+	// waiting to be nacked.
 	RenewAck struct {
-		Server  string
-		LeaseID uint64
-		Valid   bool
+		Server   string
+		LeaseID  uint64
+		Valid    bool
+		MapEpoch int64
 	}
 	// RenewalsReq asks a lock server for its lease-renewal table (a
 	// Call). The coordinator's expiry sweep aggregates these so that
@@ -186,7 +266,7 @@ type (
 		Times map[string]int64
 	}
 	// StateReq asks a lock server for the current global state (a
-	// Call); clerks use it to learn group assignments.
+	// Call); clerks use it to learn the shard map.
 	StateReq struct{}
 	// StateResp carries the global state.
 	StateResp struct {
@@ -194,13 +274,16 @@ type (
 		State GState
 	}
 	// SyncReq asks a clerk to report its held locks in the given
-	// groups so a server taking over those groups can rebuild state.
+	// shards so a server taking over those shards can rebuild state.
+	// NumShards lets the clerk evaluate shard membership even before
+	// it has refetched the new map.
 	SyncReq struct {
-		Server string
-		Table  string
-		Groups []int
-		Seq    uint64
-		Ver    int64 // state version of the gaining server (fencing floor)
+		Server    string
+		Table     string
+		Shards    []int
+		NumShards int
+		Seq       uint64
+		Ver       int64 // state version of the gaining server (fencing floor)
 	}
 	// SyncResp reports held locks (mode > None only).
 	SyncResp struct {
@@ -254,10 +337,11 @@ type (
 		Table string
 	}
 	// CmdSetAlive records a lock server liveness transition and
-	// reassigns groups: "the locks are always reassigned such that
+	// reassigns shards: "the locks are always reassigned such that
 	// the number of locks served by each server is balanced, the
 	// number of reassignments is minimized, and each lock is served
-	// by exactly one lock server" (§6).
+	// by exactly one lock server" (§6). Every reassignment advances
+	// the shard-map epoch.
 	CmdSetAlive struct {
 		Server string
 		Alive  bool
@@ -276,26 +360,37 @@ type Session struct {
 // GState is the lock service's Paxos-replicated global state: "a list
 // of lock servers, a list of locks that each is responsible for
 // serving, and a list of clerks that have opened but not yet closed
-// each lock table" (§6).
+// each lock table" (§6). The lock list takes the form of an
+// epoch-numbered shard map.
 type GState struct {
 	Servers    []string
 	Alive      map[string]bool
-	Assignment [NumGroups]string  // group -> lock server
-	Sessions   map[string]Session // key: clerk+"/"+table
-	NextLease  uint64
-	Version    int64
+	Shards     int
+	Assignment []string // shard -> lock server
+	// Epoch advances on every change to Assignment and fences
+	// routing: servers nack operations on shards they do not own,
+	// quoting their epoch, and clerks refetch when behind.
+	Epoch     int64
+	Sessions  map[string]Session // key: clerk+"/"+table
+	NextLease uint64
+	Version   int64
 }
 
 func sessionKey(clerk, table string) string { return clerk + "/" + table }
 
 // NewGState builds the initial state with all servers alive and
-// groups balanced across them.
-func NewGState(servers []string) GState {
+// shards balanced across them. shards <= 0 selects DefaultShards.
+func NewGState(servers []string, shards int) GState {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
 	g := GState{
-		Servers:   append([]string(nil), servers...),
-		Alive:     make(map[string]bool, len(servers)),
-		Sessions:  make(map[string]Session),
-		NextLease: 1,
+		Servers:    append([]string(nil), servers...),
+		Alive:      make(map[string]bool, len(servers)),
+		Shards:     shards,
+		Assignment: make([]string, shards),
+		Sessions:   make(map[string]Session),
+		NextLease:  1,
 	}
 	for _, s := range servers {
 		g.Alive[s] = true
@@ -308,6 +403,7 @@ func NewGState(servers []string) GState {
 func (g GState) Clone() GState {
 	out := g
 	out.Servers = append([]string(nil), g.Servers...)
+	out.Assignment = append([]string(nil), g.Assignment...)
 	out.Alive = make(map[string]bool, len(g.Alive))
 	for k, v := range g.Alive {
 		out.Alive[k] = v
@@ -367,9 +463,10 @@ func (g *GState) freeSlot(table string) int {
 	}
 }
 
-// reassign rebalances groups over the alive servers with minimal
-// movement: groups whose server is still alive stay put; orphaned
-// groups go to the least-loaded alive servers.
+// reassign rebalances shards over the alive servers with minimal
+// movement: shards whose server is still alive stay put; orphaned
+// shards go to the least-loaded alive servers. Any actual movement
+// advances the map epoch.
 func (g *GState) reassign() {
 	var alive []string
 	for _, s := range g.Servers {
@@ -380,6 +477,7 @@ func (g *GState) reassign() {
 	if len(alive) == 0 {
 		return // total outage: keep the old map; nobody is serving anyway
 	}
+	changed := false
 	load := make(map[string]int, len(alive))
 	for _, s := range alive {
 		load[s] = 0
@@ -401,10 +499,11 @@ func (g *GState) reassign() {
 		}
 		g.Assignment[i] = best
 		load[best]++
+		changed = true
 	}
 	// Rebalance from overloaded to underloaded servers to keep counts
 	// within one of each other.
-	target := NumGroups / len(alive)
+	target := g.Shards / len(alive)
 	for _, under := range alive {
 		for load[under] < target {
 			moved := false
@@ -414,6 +513,7 @@ func (g *GState) reassign() {
 					load[s]--
 					load[under]++
 					moved = true
+					changed = true
 					if load[under] >= target {
 						break
 					}
@@ -424,7 +524,13 @@ func (g *GState) reassign() {
 			}
 		}
 	}
+	if changed {
+		g.Epoch++
+	}
 }
 
+// ShardOf returns the shard a lock belongs to under this map.
+func (g *GState) ShardOf(lock uint64) int { return ShardOf(lock, g.Shards) }
+
 // ServerFor returns the lock server assigned to a lock.
-func (g *GState) ServerFor(lock uint64) string { return g.Assignment[Group(lock)] }
+func (g *GState) ServerFor(lock uint64) string { return g.Assignment[g.ShardOf(lock)] }

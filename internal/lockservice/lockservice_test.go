@@ -350,7 +350,7 @@ func TestLockServerCrashReassignsAndRecovers(t *testing.T) {
 }
 
 func TestGStateReassignBalancedMinimalMovement(t *testing.T) {
-	g := NewGState([]string{"a", "b", "c", "d"})
+	g := NewGState([]string{"a", "b", "c", "d"}, 0)
 	count := func() map[string]int {
 		m := make(map[string]int)
 		for _, s := range g.Assignment {
@@ -359,36 +359,49 @@ func TestGStateReassignBalancedMinimalMovement(t *testing.T) {
 		return m
 	}
 	for s, n := range count() {
-		if n != NumGroups/4 {
-			t.Fatalf("initial balance: %s has %d groups", s, n)
+		if n != DefaultShards/4 {
+			t.Fatalf("initial balance: %s has %d shards", s, n)
 		}
 	}
-	before := g.Assignment
+	before := append([]string(nil), g.Assignment...)
+	epochBefore := g.Epoch
 	g.Apply(CmdSetAlive{Server: "d", Alive: false})
+	if g.Epoch <= epochBefore {
+		t.Fatalf("epoch did not advance on reassignment: %d -> %d", epochBefore, g.Epoch)
+	}
 	moved := 0
 	for i := range before {
 		if before[i] != g.Assignment[i] {
 			moved++
 			if before[i] != "d" {
-				t.Fatalf("group %d moved from live server %s", i, before[i])
+				t.Fatalf("shard %d moved from live server %s", i, before[i])
 			}
 		}
 		if g.Assignment[i] == "d" {
-			t.Fatalf("group %d still on dead server", i)
+			t.Fatalf("shard %d still on dead server", i)
 		}
 	}
-	if moved != NumGroups/4 {
-		t.Fatalf("moved %d groups, want exactly the dead server's %d", moved, NumGroups/4)
+	if moved != DefaultShards/4 {
+		t.Fatalf("moved %d shards, want exactly the dead server's %d", moved, DefaultShards/4)
 	}
 	for s, n := range count() {
-		if n < NumGroups/3-1 || n > NumGroups/3+2 {
-			t.Fatalf("post-crash balance: %s has %d groups", s, n)
+		if n < DefaultShards/3-1 || n > DefaultShards/3+2 {
+			t.Fatalf("post-crash balance: %s has %d shards", s, n)
 		}
+	}
+	// A command that does not change the assignment must not bump the
+	// epoch: clerks refetch on every epoch change, so spurious bumps
+	// are pure churn.
+	epochBefore = g.Epoch
+	g.Apply(CmdSetAlive{Server: "d", Alive: false}) // already dead
+	g.Apply(CmdOpenSession{Clerk: "ws1", Table: "fs"})
+	if g.Epoch != epochBefore {
+		t.Fatalf("epoch bumped without assignment change: %d -> %d", epochBefore, g.Epoch)
 	}
 }
 
 func TestGStateSessions(t *testing.T) {
-	g := NewGState([]string{"a"})
+	g := NewGState([]string{"a"}, 0)
 	g.Apply(CmdOpenSession{Clerk: "ws1", Table: "fs"})
 	g.Apply(CmdOpenSession{Clerk: "ws2", Table: "fs"})
 	s1 := g.Sessions["ws1/fs"]
@@ -417,17 +430,27 @@ func TestGStateSessions(t *testing.T) {
 	}
 }
 
-func TestGroupMapping(t *testing.T) {
+func TestShardMapping(t *testing.T) {
 	seen := make(map[int]bool)
 	for id := uint64(0); id < 1000; id++ {
-		g := Group(id)
-		if g < 0 || g >= NumGroups {
-			t.Fatalf("group %d out of range", g)
+		sh := ShardOf(id, DefaultShards)
+		if sh < 0 || sh >= DefaultShards {
+			t.Fatalf("shard %d out of range", sh)
 		}
-		seen[g] = true
+		if sh != ShardOf(id, DefaultShards) {
+			t.Fatalf("ShardOf not deterministic for id %d", id)
+		}
+		seen[sh] = true
 	}
-	if len(seen) != NumGroups {
-		t.Fatalf("only %d groups used by first 1000 ids", len(seen))
+	// The hash must spread structured ids (dense low integers, like
+	// inode numbers) across essentially all shards; a modulus would
+	// trivially pass this too, but the hash must not regress it.
+	if len(seen) < DefaultShards*9/10 {
+		t.Fatalf("only %d/%d shards used by first 1000 ids", len(seen), DefaultShards)
+	}
+	// Degenerate shard counts stay in range.
+	if ShardOf(12345, 1) != 0 || ShardOf(12345, 0) != 0 {
+		t.Fatal("ShardOf with <=1 shards must return 0")
 	}
 }
 
@@ -456,7 +479,7 @@ func TestGStateReassignProperty(t *testing.T) {
 	// served by exactly one server; if any server is alive, every
 	// group is on an alive server and load is balanced within 2.
 	servers := []string{"a", "b", "c", "d", "e"}
-	g := NewGState(servers)
+	g := NewGState(servers, 0)
 	rng := []int{3, 1, 4, 1, 0, 2, 2, 4, 0, 3, 1, 2}
 	alive := map[string]bool{"a": true, "b": true, "c": true, "d": true, "e": true}
 	for step, pick := range rng {
@@ -479,7 +502,7 @@ func TestGStateReassignProperty(t *testing.T) {
 			}
 			load[srv]++
 		}
-		min, max := NumGroups, 0
+		min, max := DefaultShards, 0
 		for _, s := range servers {
 			if !alive[s] {
 				continue

@@ -1,6 +1,7 @@
 package lockservice
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -22,6 +23,15 @@ type Config struct {
 	// before releasing it to bound lock memory (§6; 1 hour). Zero
 	// uses the default.
 	IdleDiscard sim.Duration
+	// Shards is the number of lock-table shards (0 = DefaultShards).
+	// Every server and clerk of one deployment must agree on it.
+	Shards int
+	// CPUPerMsg and CPUPerOp override the modelled protocol-processing
+	// cost per inbound message / per lock operation carried (0 = the
+	// package defaults). Experiments scale them up to move the
+	// capacity wall down to op rates the host simulates faithfully.
+	CPUPerMsg sim.Duration
+	CPUPerOp  sim.Duration
 }
 
 // DefaultConfig returns paper-flavored timing (30 s leases).
@@ -36,6 +46,16 @@ func DefaultConfig() Config {
 		IdleDiscard:    DefaultIdleDiscard,
 	}
 }
+
+// Modelled lock-server CPU cost, charged against a per-server
+// sim.Resource: ~60 µs of protocol processing per message plus ~5 µs
+// per lock operation carried. One server therefore saturates around
+// 16 k messages/s — the capacity wall the lock-scaling experiment
+// measures — and vectored batches amortize the per-message cost.
+const (
+	cpuPerMsg = 60 * time.Microsecond
+	cpuPerOp  = 5 * time.Microsecond
+)
 
 // lockKey names one lock.
 type lockKey struct {
@@ -57,14 +77,14 @@ type lockState struct {
 	lastRevoke sim.Time
 }
 
-// groupSync tracks reconstruction of one group's state from clerks.
-// A group stays pending until EVERY live clerk has reported its held
+// shardSync tracks reconstruction of one shard's state from clerks.
+// A shard stays pending until EVERY live clerk has reported its held
 // locks: granting from partial knowledge could hand out a lock some
 // silent clerk still holds. Clerks whose sessions die are pruned (the
 // recovery path releases their locks).
-type groupSync struct {
+type shardSync struct {
 	seq     uint64
-	groups  []int
+	shards  []int
 	waiting map[string]bool // clerks not yet heard from
 }
 
@@ -86,11 +106,12 @@ type Server struct {
 	ep   *rpc.Endpoint
 	px   *paxos.Node
 	det  *paxos.Detector
+	cpu  *sim.Resource // modelled protocol-processing capacity
 
 	mu         sync.Mutex
 	state      GState
 	locks      map[lockKey]*lockState
-	pendingGrp map[int]*groupSync
+	pendingGrp map[int]*shardSync // shard -> in-progress handoff sync
 	renewals   map[string]sim.Time
 	recoveries map[string]*recoveryJob // session key -> job
 	nextSeq    uint64
@@ -100,8 +121,10 @@ type Server struct {
 
 	reqC             *obs.Counter
 	revC             *obs.Counter
+	wrongC           *obs.Counter
 	locksG, memBytes *obs.Gauge
-	jr               *obs.Journal // flight recorder (nil-safe)
+	shardC           []*obs.Counter // lazy per-shard op counters
+	jr               *obs.Journal   // flight recorder (nil-safe)
 
 	// Trace, when set, receives debug events.
 	Trace func(format string, args ...any)
@@ -133,15 +156,18 @@ func NewServerWithCarrier(w *sim.World, name string, peers []string, cfg Config,
 		name:       name,
 		w:          w,
 		cfg:        cfg,
-		state:      NewGState(peers),
+		state:      NewGState(peers, cfg.Shards),
 		locks:      make(map[lockKey]*lockState),
-		pendingGrp: make(map[int]*groupSync),
+		pendingGrp: make(map[int]*shardSync),
 		renewals:   make(map[string]sim.Time),
 		recoveries: make(map[string]*recoveryJob),
+		cpu:        sim.NewResource(w.Clock, name+".lockcpu"),
 	}
+	s.shardC = make([]*obs.Counter, s.state.Shards)
 	if reg := w.Obs; reg != nil {
 		s.reqC = reg.Counter("lockservice.server.requests#" + name)
 		s.revC = reg.Counter("lockservice.server.revokes#" + name)
+		s.wrongC = reg.Counter("lockservice.server.wrongshard#" + name)
 		s.locksG = reg.Gauge("lockservice.server.locks#" + name)
 		s.memBytes = reg.Gauge("lockservice.server.bytes#" + name)
 		s.jr = reg.Journal(name)
@@ -156,6 +182,20 @@ func NewServerWithCarrier(w *sim.World, name string, peers []string, cfg Config,
 		w.Clock.Tick(cfg.SyncTimeout, s.syncRetry),
 	)
 	return s
+}
+
+// shardCounter returns the shared per-shard operation counter,
+// creating it lazily so untouched shards do not pollute snapshots.
+// Counters are named by shard (not by server), so after a handoff the
+// new owner keeps incrementing the same series. Called with s.mu held.
+func (s *Server) shardCounter(shard int) *obs.Counter {
+	if shard < 0 || shard >= len(s.shardC) || s.w.Obs == nil {
+		return nil
+	}
+	if s.shardC[shard] == nil {
+		s.shardC[shard] = s.w.Obs.Counter(fmt.Sprintf("lockservice.shard.ops#s%03d", shard))
+	}
+	return s.shardC[shard]
 }
 
 // Name returns the server's name.
@@ -179,14 +219,14 @@ func (s *Server) Crash() {
 	s.mu.Lock()
 	s.crashed = true
 	s.locks = make(map[lockKey]*lockState) // volatile state dies
-	s.pendingGrp = make(map[int]*groupSync)
+	s.pendingGrp = make(map[int]*shardSync)
 	s.mu.Unlock()
 	s.px.Crash()
 	s.det.Crash()
 }
 
 // Restart revives a crashed server. It proposes itself alive; the
-// resulting reassignment hands it groups, whose state it then
+// resulting reassignment hands it shards, whose state it then
 // recovers from the clerks.
 func (s *Server) Restart() {
 	s.mu.Lock()
@@ -252,33 +292,50 @@ func (s *Server) amCoordinator() bool {
 	return true
 }
 
-// applyCmd applies a decided command and reacts to assignment
-// changes: groups lost are discarded immediately (phase one of the
-// paper's reassignment), groups gained enter recovery from clerks
-// (phase two).
+// applyCmd applies a decided command and reacts to shard-map changes:
+// shards lost are discarded immediately (phase one of the paper's
+// reassignment), shards gained enter recovery from clerks (phase
+// two). Epoch changes are journaled so forensics can replay who owned
+// a shard when.
 func (s *Server) applyCmd(seq int64, cmd paxos.Command) {
 	s.mu.Lock()
-	oldAssign := s.state.Assignment
+	oldAssign := append([]string(nil), s.state.Assignment...)
+	oldEpoch := s.state.Epoch
 	s.state.Apply(cmd)
 	newAssign := s.state.Assignment
 
-	var gained []int
-	for g := 0; g < NumGroups; g++ {
-		if oldAssign[g] == newAssign[g] {
+	var gained, lost []int
+	for sh := range newAssign {
+		if oldAssign[sh] == newAssign[sh] {
 			continue
 		}
-		if oldAssign[g] == s.name {
-			// Phase one: discard state for groups we lost.
+		if oldAssign[sh] == s.name {
+			// Phase one: discard state for shards we lost.
 			for k := range s.locks {
-				if Group(k.Lock) == g {
+				if s.state.ShardOf(k.Lock) == sh {
 					delete(s.locks, k)
 				}
 			}
-			delete(s.pendingGrp, g)
+			delete(s.pendingGrp, sh)
+			lost = append(lost, sh)
 		}
-		if newAssign[g] == s.name {
-			gained = append(gained, g)
+		if newAssign[sh] == s.name {
+			gained = append(gained, sh)
 		}
+	}
+	if s.state.Epoch != oldEpoch {
+		moved := 0
+		for sh := range newAssign {
+			if oldAssign[sh] != newAssign[sh] {
+				moved++
+			}
+		}
+		s.jr.Record("lockservice", "shardmap", "epoch", 0, s.state.Epoch,
+			fmt.Sprintf("%d shards reassigned (+%d/-%d here)", moved, len(gained), len(lost)))
+	}
+	if len(lost) > 0 {
+		s.jr.Record("lockservice", "handoff", "dropped", 0, int64(len(lost)),
+			fmt.Sprintf("shards %v surrendered", lost))
 	}
 	if c, ok := cmd.(CmdCloseSession); ok {
 		s.dropClerkLocked(c.Clerk, c.Table)
@@ -293,7 +350,7 @@ func (s *Server) applyCmd(seq int64, cmd paxos.Command) {
 	s.mu.Unlock()
 
 	if len(gained) > 0 && !s.isDown() {
-		go s.syncGroups(gained)
+		go s.syncShards(gained)
 	}
 }
 
@@ -341,17 +398,47 @@ func (s *Server) send(outs []outMsg) {
 	}
 }
 
+// cpuCost models the protocol-processing time of one inbound message:
+// a fixed per-message cost plus a per-lock-operation cost for the
+// vectored types (which is what makes batching pay).
+func (s *Server) cpuCost(body any) sim.Duration {
+	ops := 0
+	switch m := body.(type) {
+	case AcquireBatch:
+		ops = len(m.Reqs)
+	case ReleaseBatch:
+		ops = len(m.Rels)
+	case ReqMsg, RelMsg:
+		ops = 1
+	case SyncResp:
+		ops = len(m.Locks)
+	}
+	perMsg, perOp := s.cfg.CPUPerMsg, s.cfg.CPUPerOp
+	if perMsg == 0 {
+		perMsg = cpuPerMsg
+	}
+	if perOp == 0 {
+		perOp = cpuPerOp
+	}
+	return perMsg + sim.Duration(ops)*perOp
+}
+
 // handle serves the lock protocol.
 func (s *Server) handle(from string, body any) any {
 	if s.isDown() {
 		return nil
 	}
+	s.cpu.Use(s.cpuCost(body))
 	s.reqC.Inc()
 	switch m := body.(type) {
 	case ReqMsg:
-		s.onRequest(m)
+		s.onAcquireBatch(m.Clerk, m.Table, 0, []BatchReq{{Lock: m.Lock, Mode: m.Mode, Epoch: m.Epoch}})
 	case RelMsg:
-		s.onRelease(m)
+		s.onReleaseBatch(m.Clerk, m.Table, 0, []BatchRel{{Lock: m.Lock, NewMode: m.NewMode}})
+	case AcquireBatch:
+		s.onAcquireBatch(m.Clerk, m.Table, m.MapEpoch, m.Reqs)
+	case ReleaseBatch:
+		s.onReleaseBatch(m.Clerk, m.Table, m.MapEpoch, m.Rels)
 	case RenewMsg:
 		s.mu.Lock()
 		s.renewals[m.Clerk] = s.w.Clock.Now()
@@ -362,8 +449,9 @@ func (s *Server) handle(from string, body any) any {
 				break
 			}
 		}
+		epoch := s.state.Epoch
 		s.mu.Unlock()
-		return RenewAck{Server: s.name, LeaseID: m.LeaseID, Valid: valid}
+		return RenewAck{Server: s.name, LeaseID: m.LeaseID, Valid: valid, MapEpoch: epoch}
 	case RenewalsReq:
 		s.mu.Lock()
 		times := make(map[string]int64, len(s.renewals))
@@ -398,66 +486,110 @@ func (s *Server) lock(k lockKey) *lockState {
 	return ls
 }
 
-func (s *Server) onRequest(m ReqMsg) {
-	k := lockKey{m.Table, m.Lock}
+// onAcquireBatch serves a vectored lock request: every lock we own is
+// processed under one state-lock acquisition; locks we do NOT own are
+// nacked back in a single WrongShard carrying our map epoch, so a
+// clerk that routed with a stale shard map refetches and retries
+// against the new owner instead of waiting forever on a silent drop.
+func (s *Server) onAcquireBatch(clerk, table string, mapEpoch int64, reqs []BatchReq) {
+	var outs []outMsg
+	var wrong []uint64
 	s.mu.Lock()
-	if s.state.ServerFor(m.Lock) != s.name {
-		s.mu.Unlock()
-		return // stale routing; the clerk will learn the new assignment
-	}
-	ls := s.lock(k)
-	// Refresh or add the waiter (idempotent retransmits).
-	found := false
-	for i := range ls.waiters {
-		if ls.waiters[i].clerk == m.Clerk {
-			ls.waiters[i].mode = m.Mode
-			if m.Epoch > ls.waiters[i].epoch {
-				ls.waiters[i].epoch = m.Epoch
+	epoch := s.state.Epoch
+	for _, r := range reqs {
+		if s.state.ServerFor(r.Lock) != s.name {
+			wrong = append(wrong, r.Lock)
+			continue
+		}
+		if ctr := s.shardCounter(s.state.ShardOf(r.Lock)); ctr != nil {
+			ctr.Inc()
+		}
+		k := lockKey{table, r.Lock}
+		ls := s.lock(k)
+		// Refresh or add the waiter (idempotent retransmits).
+		found := false
+		for i := range ls.waiters {
+			if ls.waiters[i].clerk == clerk {
+				ls.waiters[i].mode = r.Mode
+				if r.Epoch > ls.waiters[i].epoch {
+					ls.waiters[i].epoch = r.Epoch
+				}
+				found = true
+				break
 			}
-			found = true
-			break
 		}
-	}
-	if !found {
-		// Already holding at sufficient mode? Re-grant (lost grant).
-		if held, ok := ls.holders[m.Clerk]; ok && held >= m.Mode {
-			ver := s.state.Version
-			s.mu.Unlock()
-			_ = s.ep.Cast(ClerkAddr(m.Clerk), GrantMsg{Table: m.Table, Lock: m.Lock, Mode: held, Ver: ver, Epoch: m.Epoch})
-			return
+		if !found {
+			// Already holding at sufficient mode? Re-grant (lost grant).
+			if held, ok := ls.holders[clerk]; ok && held >= r.Mode {
+				outs = append(outs, outMsg{ClerkAddr(clerk), GrantMsg{Table: table, Lock: r.Lock, Mode: held, Ver: s.state.Version, Epoch: r.Epoch}})
+				continue
+			}
+			ls.waiters = append(ls.waiters, waiter{clerk, r.Mode, r.Epoch})
+			// A new conflict deserves an immediate revoke; the rate limit
+			// only applies to retransmissions of the same conflict.
+			ls.lastRevoke = 0
 		}
-		ls.waiters = append(ls.waiters, waiter{m.Clerk, m.Mode, m.Epoch})
-		// A new conflict deserves an immediate revoke; the rate limit
-		// only applies to retransmissions of the same conflict.
-		ls.lastRevoke = 0
+		outs = append(outs, s.tryGrantLocked(k, ls)...)
 	}
-	outs := s.tryGrantLocked(k, ls)
 	s.mu.Unlock()
+	if len(wrong) > 0 {
+		s.nackWrongShard(clerk, table, epoch, mapEpoch, wrong)
+	}
 	s.send(outs)
 }
 
-func (s *Server) onRelease(m RelMsg) {
-	k := lockKey{m.Table, m.Lock}
+// onReleaseBatch serves a vectored release/downgrade. Releases for
+// locks we do not own are nacked like acquires: a release lost to a
+// silent drop would leave the new owner believing the clerk holds the
+// lock forever.
+func (s *Server) onReleaseBatch(clerk, table string, mapEpoch int64, rels []BatchRel) {
+	var outs []outMsg
+	var wrong []uint64
 	s.mu.Lock()
-	ls := s.locks[k]
-	if ls == nil {
-		s.mu.Unlock()
-		return
-	}
-	if m.NewMode == None {
-		delete(ls.holders, m.Clerk)
-	} else if _, ok := ls.holders[m.Clerk]; ok {
-		ls.holders[m.Clerk] = m.NewMode
-	}
-	// Holder state changed: if a conflict persists, revoke the
-	// remaining holders without waiting out the retransmit limiter.
-	ls.lastRevoke = 0
-	outs := s.tryGrantLocked(k, ls)
-	if len(ls.holders) == 0 && len(ls.waiters) == 0 {
-		delete(s.locks, k)
+	epoch := s.state.Epoch
+	for _, r := range rels {
+		if s.state.ServerFor(r.Lock) != s.name {
+			wrong = append(wrong, r.Lock)
+			continue
+		}
+		if ctr := s.shardCounter(s.state.ShardOf(r.Lock)); ctr != nil {
+			ctr.Inc()
+		}
+		k := lockKey{table, r.Lock}
+		ls := s.locks[k]
+		if ls == nil {
+			continue
+		}
+		if r.NewMode == None {
+			delete(ls.holders, clerk)
+		} else if _, ok := ls.holders[clerk]; ok {
+			ls.holders[clerk] = r.NewMode
+		}
+		// Holder state changed: if a conflict persists, revoke the
+		// remaining holders without waiting out the retransmit limiter.
+		ls.lastRevoke = 0
+		outs = append(outs, s.tryGrantLocked(k, ls)...)
+		if len(ls.holders) == 0 && len(ls.waiters) == 0 {
+			delete(s.locks, k)
+		}
 	}
 	s.mu.Unlock()
+	if len(wrong) > 0 {
+		s.nackWrongShard(clerk, table, epoch, mapEpoch, wrong)
+	}
 	s.send(outs)
+}
+
+// nackWrongShard tells a clerk its routing was stale for the listed
+// locks, quoting our shard-map epoch.
+func (s *Server) nackWrongShard(clerk, table string, epoch, clerkEpoch int64, locks []uint64) {
+	s.wrongC.Add(int64(len(locks)))
+	for _, lk := range locks {
+		s.jr.Record("lockservice", "shard", "wrongshard", lk, epoch,
+			fmt.Sprintf("%s routed with epoch %d", clerk, clerkEpoch))
+	}
+	s.trace("wrong-shard nack to %s: %d locks (epoch %d, clerk had %d)", clerk, len(locks), epoch, clerkEpoch)
+	_ = s.ep.Cast(ClerkAddr(clerk), WrongShard{Server: s.name, Table: table, Epoch: epoch, Locks: locks})
 }
 
 // tryGrantLocked grants as many head waiters as compatibility allows
@@ -465,8 +597,8 @@ func (s *Server) onRelease(m RelMsg) {
 // designed to be fair in granting locks") and emits revokes toward
 // the holders blocking the head waiter.
 func (s *Server) tryGrantLocked(k lockKey, ls *lockState) []outMsg {
-	if s.pendingGrp[Group(k.Lock)] != nil {
-		return nil // group state still being recovered from clerks
+	if s.pendingGrp[s.state.ShardOf(k.Lock)] != nil {
+		return nil // shard state still being recovered from clerks
 	}
 	var outs []outMsg
 	for len(ls.waiters) > 0 {
@@ -726,11 +858,11 @@ func (s *Server) onRecoveryDone(m RecoveryDone) {
 	_ = s.px.Submit(CmdCloseSession{Clerk: m.Dead, Table: m.Table}, 120*time.Second)
 }
 
-// syncGroups reconstructs gained groups' lock state from the clerks
+// syncShards reconstructs gained shards' lock state from the clerks
 // (phase two of reassignment): "lock servers that gain locks contact
 // the clerks that have the relevant lock tables open. The servers
 // recover the state of their new locks from the clerks."
-func (s *Server) syncGroups(groups []int) {
+func (s *Server) syncShards(shards []int) {
 	s.mu.Lock()
 	s.nextSeq++
 	seq := s.nextSeq
@@ -740,9 +872,9 @@ func (s *Server) syncGroups(groups []int) {
 			waiting[sess.Clerk] = true
 		}
 	}
-	gs := &groupSync{seq: seq, groups: groups, waiting: waiting}
-	for _, g := range groups {
-		s.pendingGrp[g] = gs
+	gs := &shardSync{seq: seq, shards: shards, waiting: waiting}
+	for _, sh := range shards {
+		s.pendingGrp[sh] = gs
 	}
 	var clerks []string
 	tables := make(map[string]bool)
@@ -753,22 +885,25 @@ func (s *Server) syncGroups(groups []int) {
 		}
 	}
 	ver := s.state.Version
+	nshards := s.state.Shards
+	s.jr.Record("lockservice", "handoff", "begin", 0, int64(len(shards)),
+		fmt.Sprintf("shards %v seq %d, syncing %d clerks", shards, seq, len(clerks)))
 	s.mu.Unlock()
 
 	for _, clerk := range clerks {
 		for table := range tables {
-			_ = s.ep.Cast(ClerkAddr(clerk), SyncReq{Server: s.name, Table: table, Groups: groups, Seq: seq, Ver: ver})
+			_ = s.ep.Cast(ClerkAddr(clerk), SyncReq{Server: s.name, Table: table, Shards: shards, NumShards: nshards, Seq: seq, Ver: ver})
 		}
 	}
 	if len(clerks) == 0 {
 		s.finishSync(seq)
 	}
-	// Laggards are re-asked by the syncRetry ticker; the groups stay
+	// Laggards are re-asked by the syncRetry ticker; the shards stay
 	// pending (no grants) until every live clerk has answered or its
 	// session has died.
 }
 
-// syncRetry re-sends SyncReqs for pending groups and prunes clerks
+// syncRetry re-sends SyncReqs for pending shards and prunes clerks
 // whose sessions are gone.
 func (s *Server) syncRetry() {
 	if s.isDown() {
@@ -778,13 +913,14 @@ func (s *Server) syncRetry() {
 	type ask struct {
 		clerk  string
 		table  string
-		groups []int
+		shards []int
 		seq    uint64
 		ver    int64
 	}
 	var asks []ask
 	var finished []uint64
 	seen := make(map[uint64]bool)
+	nshards := s.state.Shards
 	for _, gs := range s.pendingGrp {
 		if seen[gs.seq] {
 			continue
@@ -804,7 +940,7 @@ func (s *Server) syncRetry() {
 				delete(gs.waiting, clerk)
 				continue
 			}
-			asks = append(asks, ask{clerk, table, gs.groups, gs.seq, s.state.Version})
+			asks = append(asks, ask{clerk, table, gs.shards, gs.seq, s.state.Version})
 		}
 		if len(gs.waiting) == 0 {
 			finished = append(finished, gs.seq)
@@ -812,7 +948,7 @@ func (s *Server) syncRetry() {
 	}
 	s.mu.Unlock()
 	for _, a := range asks {
-		_ = s.ep.Cast(ClerkAddr(a.clerk), SyncReq{Server: s.name, Table: a.table, Groups: a.groups, Seq: a.seq, Ver: a.ver})
+		_ = s.ep.Cast(ClerkAddr(a.clerk), SyncReq{Server: s.name, Table: a.table, Shards: a.shards, NumShards: nshards, Seq: a.seq, Ver: a.ver})
 	}
 	for _, seq := range finished {
 		s.finishSync(seq)
@@ -821,7 +957,7 @@ func (s *Server) syncRetry() {
 
 func (s *Server) onSyncResp(m SyncResp) {
 	s.mu.Lock()
-	var gs *groupSync
+	var gs *shardSync
 	for _, p := range s.pendingGrp {
 		if p.seq == m.Seq {
 			gs = p
@@ -856,24 +992,27 @@ func (s *Server) onSyncResp(m SyncResp) {
 	}
 }
 
-// finishSync marks groups with the given sync sequence ready and
+// finishSync marks shards with the given sync sequence ready and
 // kicks granting.
 func (s *Server) finishSync(seq uint64) {
 	s.mu.Lock()
 	var ready []int
-	for g, p := range s.pendingGrp {
+	for sh, p := range s.pendingGrp {
 		if p.seq == seq {
-			ready = append(ready, g)
+			ready = append(ready, sh)
 		}
 	}
-	for _, g := range ready {
-		delete(s.pendingGrp, g)
+	for _, sh := range ready {
+		delete(s.pendingGrp, sh)
 	}
 	var outs []outMsg
 	if len(ready) > 0 {
+		s.jr.Record("lockservice", "handoff", "end", 0, int64(len(ready)),
+			fmt.Sprintf("shards %v recovered, granting resumes", ready))
 		for k, ls := range s.locks {
-			for _, g := range ready {
-				if Group(k.Lock) == g {
+			sh := s.state.ShardOf(k.Lock)
+			for _, r := range ready {
+				if sh == r {
 					outs = append(outs, s.tryGrantLocked(k, ls)...)
 					break
 				}
