@@ -32,10 +32,15 @@ bench:
 ## in-flight RPC streams share one TCP connection.
 ## forensics-smoke kills a lock holder mid-write and asserts the merged
 ## flight-recorder timeline shows expiry -> recovery -> replay in causal
-## order; obs-overhead asserts the recorder adds <= 1% serial Sync
-## latency. lock-scaling asserts contended acquire p99 improves >= 2x
+## order; obs-overhead asserts the recorder and the per-principal
+## account table each add <= 1% serial Sync latency. lock-scaling
+## asserts contended acquire p99 improves >= 2x
 ## and throughput >= 1.5x from 1 to 4 lock-server shards, with the
 ## stale-map nack/refetch path and a mid-run shard handoff exercised.
+## noisy-neighbor-obs pits a principal-tagged streaming writer against
+## an interactive reader and asserts >= 95% of bytes and lock-wait are
+## attributed, the writer ranks first by bytes, and the watcher's
+## obs.noisyneighbor verdict lands in the merged forensics timeline.
 ## The final step persists this build's point on the perf
 ## trajectory as BENCH_<utc-timestamp>.json (schema frangipani-bench/v1).
 bench-smoke:
@@ -46,6 +51,7 @@ bench-smoke:
 	$(GO) run ./cmd/frangibench -quick -exp forensics-smoke
 	$(GO) run ./cmd/frangibench -quick -exp lock-scaling
 	$(GO) run ./cmd/frangibench -quick -exp obs-overhead
+	$(GO) run ./cmd/frangibench -quick -exp noisy-neighbor-obs
 	$(GO) run ./cmd/frangibench -out BENCH_$$(date -u +%Y%m%dT%H%M%SZ).json
 
 ## bench-codec: raw codec-vs-gob microbenchmarks with allocation counts.

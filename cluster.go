@@ -106,6 +106,16 @@ type ClusterConfig struct {
 	// ablation knob for measuring instrumentation overhead): only the
 	// always-on standalone counters remain.
 	NoObs bool
+	// NoAccounting disables per-principal resource accounting while
+	// keeping the rest of observability (the ablation knob for
+	// measuring the accounting layer's own overhead). Components wire
+	// their account-table pointer at construction, so this only takes
+	// effect for clusters built with it set.
+	NoAccounting bool
+	// JournalCap sizes each server's flight-recorder ring.
+	// DefaultClusterConfig sets it to obs.DefaultJournalCap;
+	// non-positive values are rejected by NewCluster.
+	JournalCap int
 	// SlowOpThreshold, if > 0, makes the tracer keep a rendered span
 	// tree for every root operation at least this slow (simulated
 	// time); retrieve them with Obs().Tracer().SlowDumps().
@@ -129,6 +139,7 @@ func DefaultClusterConfig() ClusterConfig {
 		SuspectAfter:   10 * time.Second,
 		FSConfig:       fscfg,
 		VDisk:          "fs0",
+		JournalCap:     obs.DefaultJournalCap,
 	}
 }
 
@@ -171,11 +182,21 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.PetalServers < 1 || cfg.LockServers < 1 {
 		return nil, fmt.Errorf("frangipani: need at least one petal and one lock server")
 	}
+	if cfg.JournalCap <= 0 {
+		return nil, fmt.Errorf("frangipani: JournalCap must be positive (got %d)", cfg.JournalCap)
+	}
 	w := sim.NewWorld(cfg.Compression, cfg.Seed)
 	if cfg.NoObs {
 		w.Obs = nil
-	} else if cfg.SlowOpThreshold > 0 {
-		w.Obs.Tracer().SetSlowThreshold(cfg.SlowOpThreshold)
+	} else {
+		// Registry knobs must be set before any server is built:
+		// components capture their journal and account-table pointers
+		// once at construction.
+		if cfg.SlowOpThreshold > 0 {
+			w.Obs.Tracer().SetSlowThreshold(cfg.SlowOpThreshold)
+		}
+		w.Obs.SetJournalCap(cfg.JournalCap)
+		w.Obs.SetAccounting(!cfg.NoAccounting)
 	}
 	c := &Cluster{
 		World:   w,
@@ -503,6 +524,18 @@ func (c *Cluster) Anomalies() *obs.AnomalyWatcher {
 		c.anoms = obs.NewAnomalyWatcher(c.Obs().Journal("cluster"), obs.AnomalyConfig{})
 	})
 	return c.anoms
+}
+
+// Accounts returns the cluster-wide per-principal account table (nil
+// when the cluster was built with NoObs or NoAccounting). Bind client
+// work with obs.WithPrincipal and every layer attributes its bytes,
+// RPCs, lock waits, and cache misses; Snapshot() is the cluster
+// "top", Advance() closes a rate window.
+func (c *Cluster) Accounts() *obs.AccountTable {
+	if c.Obs() == nil {
+		return nil
+	}
+	return c.Obs().Accounts()
 }
 
 // Forensics assembles the black-box snapshot: the full merged

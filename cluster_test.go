@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"frangipani"
+	"frangipani/internal/obs"
 )
 
 func newTestCluster(t *testing.T) *frangipani.Cluster {
@@ -104,6 +105,83 @@ func TestClusterConfigValidation(t *testing.T) {
 	cfg.PetalServers = 0
 	if _, err := frangipani.NewCluster(cfg); err == nil {
 		t.Fatal("zero petal servers accepted")
+	}
+	for _, cap := range []int{0, -4096} {
+		cfg := frangipani.DefaultClusterConfig()
+		cfg.JournalCap = cap
+		if _, err := frangipani.NewCluster(cfg); err == nil {
+			t.Fatalf("JournalCap=%d accepted", cap)
+		}
+	}
+}
+
+// TestClusterJournalCap checks a custom flight-recorder ring size
+// actually bounds the per-server journals.
+func TestClusterJournalCap(t *testing.T) {
+	cfg := frangipani.DefaultClusterConfig()
+	cfg.JournalCap = 8
+	c, err := frangipani.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	jr := c.Obs().Journal("captest")
+	for i := 0; i < 50; i++ {
+		jr.Record("test", "fill", "ok", uint64(i), 0, "")
+	}
+	if n := jr.Len(); n != 8 {
+		t.Fatalf("journal holds %d events, want ring cap 8", n)
+	}
+	evs := jr.Events()
+	if first := evs[0].Key; first != 42 {
+		t.Fatalf("oldest surviving event key %d, want 42 (ring of 8)", first)
+	}
+}
+
+// TestClusterAccountingKnob checks NoAccounting suppresses the
+// account table while plain clusters attribute bound work.
+func TestClusterAccountingKnob(t *testing.T) {
+	cfg := frangipani.DefaultClusterConfig()
+	cfg.NoAccounting = true
+	off, err := frangipani.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(off.Close)
+	if off.Accounts() != nil {
+		t.Fatal("NoAccounting cluster still has an account table")
+	}
+
+	c := newTestCluster(t)
+	ws1, err := c.AddServer("ws1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ws1.OpenFile("/acct.bin", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 64<<10)
+	obs.WithPrincipal("tenant-a", func() {
+		if _, err := h.WriteAt(payload, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	stats := c.Accounts().Snapshot()
+	var got *obs.AccountStat
+	for i := range stats {
+		if stats[i].Principal == "tenant-a" {
+			got = &stats[i]
+		}
+	}
+	if got == nil {
+		t.Fatalf("tenant-a missing from account table: %+v", stats)
+	}
+	if got.BytesIn != int64(len(payload)) {
+		t.Fatalf("tenant-a BytesIn = %d, want %d", got.BytesIn, len(payload))
+	}
+	if got.Ops == 0 || got.WALBytes == 0 {
+		t.Fatalf("tenant-a ops/WAL not attributed: %+v", *got)
 	}
 }
 

@@ -30,7 +30,7 @@ var names = []string{
 	"fig5", "fig6", "fig7", "fig7-norepl", "fig8", "fig9",
 	"wshare", "smallreads", "ablation-synclog", "writeback-pipeline",
 	"read-scaling", "obs-overhead", "obs-smoke", "contention-profile",
-	"codec-mux", "lock-scaling", "forensics-smoke",
+	"codec-mux", "lock-scaling", "forensics-smoke", "noisy-neighbor-obs",
 }
 
 func main() {
@@ -145,10 +145,11 @@ func main() {
 // the traced operations, and the full registry snapshot for anything
 // a consumer wants that the curated sections omit.
 type benchReport struct {
-	Ops      map[string]obs.HistStat `json:"op_latencies"`
-	RPCs     map[string]int64        `json:"rpc_counts"`
-	CritPath []critEntry             `json:"critical_path,omitempty"`
-	Snapshot obs.Snapshot            `json:"snapshot"`
+	Ops        map[string]obs.HistStat `json:"op_latencies"`
+	RPCs       map[string]int64        `json:"rpc_counts"`
+	Principals []obs.AccountStat       `json:"principals,omitempty"`
+	CritPath   []critEntry             `json:"critical_path,omitempty"`
+	Snapshot   obs.Snapshot            `json:"snapshot"`
 }
 
 type critEntry struct {
@@ -186,9 +187,10 @@ func collectJSONReport() (*benchReport, error) {
 	reg := c.Obs()
 	snap := reg.Snapshot()
 	rep := benchReport{
-		Ops:      map[string]obs.HistStat{},
-		RPCs:     map[string]int64{},
-		Snapshot: snap,
+		Ops:        map[string]obs.HistStat{},
+		RPCs:       map[string]int64{},
+		Principals: snap.Accounts,
+		Snapshot:   snap,
 	}
 	for name, h := range snap.Histograms {
 		if strings.HasPrefix(name, "fs.") && strings.Contains(name, ".latency") {

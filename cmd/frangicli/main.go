@@ -81,6 +81,10 @@ func main() {
   health [json]        evaluate the cluster health probes
   hotlocks [json]      top contended locks (acquire wait + revokes)
                        with the shard and lock server each maps to
+  top [json]           per-principal account table: who is moving
+                       bytes, issuing RPCs, and waiting on locks;
+                       tag work with obs.WithPrincipal to attribute
+                       it (unattributed work shows as 'unknown')
   forensics [json]     merged cross-server event timeline (flight
                        recorder); variants:
                          forensics lock <id|inode/N>   one lock's story,
@@ -89,7 +93,7 @@ func main() {
                          forensics op <traceID-hex>    one operation
                          forensics last <dur>          e.g. last 2s
                        append 'json' for a machine-readable dump
-  critpath             critical-path profile of recent traces
+  critpath [json]      critical-path profile of recent traces
                        ("where does a Sync go")
   fsck                 offline consistency check
   quit`)
@@ -267,6 +271,23 @@ func main() {
 				fmt.Printf("  %-28s %10d %12.3f %8d  s%03d   %s\n",
 					name, st.Acquires, float64(st.WaitNs)/1e6, st.Events, sh, owner)
 			}
+		case "top":
+			acct := cluster.Accounts()
+			if acct == nil {
+				fmt.Println("accounting disabled")
+				break
+			}
+			// Each invocation closes a rate window, so the "now"
+			// column reads as activity since the previous `top`.
+			acct.Advance()
+			stats := acct.Snapshot()
+			if arg(args, 1) == "json" {
+				printJSON(stats)
+			} else if len(stats) == 0 {
+				fmt.Println("no attributed work yet")
+			} else {
+				fmt.Print(obs.RenderAccounts(stats))
+			}
 		case "forensics":
 			if cluster.Obs() == nil {
 				fmt.Println("observability disabled")
@@ -281,6 +302,10 @@ func main() {
 			}
 			cp := obs.NewCritPath()
 			cp.AddTracer(reg.Tracer(), 0)
+			if arg(args, 1) == "json" {
+				printJSON(critJSON(cp))
+				break
+			}
 			if out := cp.Report(); out != "" {
 				fmt.Print(out)
 			} else {
@@ -316,6 +341,30 @@ func arg(args []string, i int) string {
 		return args[i]
 	}
 	return ""
+}
+
+// critRoot is the machine-readable shape of one critpath section.
+type critRoot struct {
+	Op       string          `json:"op"`
+	Count    int64           `json:"count"`
+	MeanNs   int64           `json:"mean_ns"`
+	Coverage float64         `json:"coverage"`
+	Profile  []obs.PathEntry `json:"profile"`
+}
+
+// critJSON flattens a critical-path profile for `critpath json`.
+func critJSON(cp *obs.CritPath) []critRoot {
+	out := []critRoot{}
+	for _, op := range cp.RootOps() {
+		out = append(out, critRoot{
+			Op:       op,
+			Count:    cp.Count(op),
+			MeanNs:   cp.MeanNs(op),
+			Coverage: cp.Coverage(op),
+			Profile:  cp.Profile(op),
+		})
+	}
+	return out
 }
 
 func printJSON(v any) {

@@ -514,6 +514,7 @@ func (o Options) All() ([]*Table, error) {
 		{"codec-mux", o.CodecMux},
 		{"lock-scaling", o.LockScaling},
 		{"forensics-smoke", o.ForensicsSmoke},
+		{"noisy-neighbor-obs", o.NoisyNeighborObs},
 	}
 	var out []*Table
 	for _, e := range exps {
@@ -569,6 +570,8 @@ func (o Options) ByName(name string) (*Table, error) {
 		return o.LockScaling()
 	case "forensics-smoke":
 		return o.ForensicsSmoke()
+	case "noisy-neighbor-obs":
+		return o.NoisyNeighborObs()
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q", name)
 }

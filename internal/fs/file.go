@@ -156,6 +156,7 @@ func (f *File) writeAt(p []byte, off int64) (int, error) {
 		return 0, ErrTooBig
 	}
 	fs.chargeOp(len(p))
+	fs.accountBytes(len(p), 0)
 	lock := InodeLock(f.inum)
 	err := fs.withLocks([]lockReq{{lock, lockservice.Exclusive}}, true, func(t *txn) error {
 		t.pageOwner = lock
@@ -263,6 +264,7 @@ func (f *File) readAt(p []byte, off int64) (int, error) {
 		return 0, ErrInval
 	}
 	fs.chargeOp(len(p))
+	fs.accountBytes(0, len(p))
 	lock := InodeLock(f.inum)
 
 	fs.raMu.Lock()

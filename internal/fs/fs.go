@@ -143,13 +143,13 @@ func newFSMetrics(reg *obs.Registry, machine string) fsMetrics {
 		return reg.Counter("fs." + name + "#" + machine)
 	}
 	m := fsMetrics{
-		ops:          c("ops.count"),
-		bytesRead:    c("read.bytes"),
-		bytesWritten: c("write.bytes"),
-		retries:      c("retry.count"),
-		recoveries:   c("recovery.count"),
-		raHits:       c("readahead.hits"),
-		raWasted:     c("readahead.wasted"),
+		ops:              c("ops.count"),
+		bytesRead:        c("read.bytes"),
+		bytesWritten:     c("write.bytes"),
+		retries:          c("retry.count"),
+		recoveries:       c("recovery.count"),
+		raHits:           c("readahead.hits"),
+		raWasted:         c("readahead.wasted"),
 		flushBatches:     c("flush.batches"),
 		flushRuns:        c("flush.runs"),
 		flushPages:       c("flush.pages"),
@@ -209,10 +209,11 @@ type FS struct {
 	atimes map[int64]int64
 
 	// Observability; set once in Mount.
-	m   fsMetrics
-	now obs.NowFunc
-	tr  *obs.Tracer
-	jr  *obs.Journal // flight recorder (nil-safe)
+	m    fsMetrics
+	now  obs.NowFunc
+	tr   *obs.Tracer
+	jr   *obs.Journal      // flight recorder (nil-safe)
+	acct *obs.AccountTable // per-principal accounting (nil-safe)
 
 	syncCancel func()
 }
@@ -290,6 +291,7 @@ func Mount(w *sim.World, machine string, pc *petal.Client, vd petal.VDiskID,
 		fs.now = w.Obs.Now
 		fs.tr = w.Obs.Tracer()
 		fs.jr = w.Obs.Journal(machine)
+		fs.acct = w.Obs.Accounts()
 		// Hot-lock table entries decode to human-readable lock names
 		// ("inode/7") in snapshots and exposition.
 		w.Obs.Resources("lockservice.locks").SetNamer(LockName)
@@ -414,7 +416,19 @@ func (fs *FS) traced(op string, fn func() error) error {
 	if h := fs.m.opLat[op]; h != nil {
 		h.Record(sp.Duration())
 	}
+	// Attribute the completed op (and its latency) to the caller's
+	// principal; unbound callers land in the unknown account.
+	fs.acct.Op(obs.CurrentPrincipal(), sp.Duration())
 	return err
+}
+
+// accountBytes charges user-level bytes moved (in = written, out =
+// read) to the calling goroutine's principal. Charged at the File API
+// boundary, not the Petal boundary: background write-back and
+// prefetch run on flusher goroutines with no binding and would
+// otherwise dilute attribution into unknown.
+func (fs *FS) accountBytes(in, out int) {
+	fs.acct.Bytes(obs.CurrentPrincipal(), int64(in), int64(out))
 }
 
 // lat returns a deferred-latency recorder for hot internal paths

@@ -104,6 +104,7 @@ type Clerk struct {
 	batchOpsC  *obs.Counter       // lock ops carried in those batches
 	renewSkipC *obs.Counter       // renew ticks skipped (predecessor in flight)
 	resTab     *obs.ResourceTable // per-lock contention (hot-lock table)
+	acct       *obs.AccountTable  // per-principal lock-wait attribution
 	jr         *obs.Journal       // flight recorder (nil-safe)
 }
 
@@ -143,6 +144,7 @@ func NewClerkWithCarrier(w *sim.World, machine, table string, servers []string, 
 		c.batchOpsC = reg.Counter("lockservice.clerk.batched_ops#" + machine)
 		c.renewSkipC = reg.Counter("lockservice.renew.skipped#" + machine)
 		c.resTab = reg.Resources("lockservice.locks")
+		c.acct = reg.Accounts()
 		c.jr = reg.Journal(machine)
 	}
 	c.ep = rpc.NewEndpoint(ClerkAddr(machine), carrier, w.Clock, c.handle)
@@ -381,6 +383,9 @@ func (c *Clerk) Lock(lock uint64, mode Mode) error {
 	wait := c.now() - start
 	c.resTab.Acquire(lock, wait)
 	c.acqLat.Record(wait)
+	// Lock blocks on the operation's own goroutine, so the caller's
+	// principal binding is in scope to charge the wait.
+	c.acct.LockWait(obs.CurrentPrincipal(), wait)
 	// Journal only acquires that blocked or failed: uncontended sticky
 	// hits are the overwhelming common case and would churn the ring.
 	if err != nil {

@@ -123,8 +123,9 @@ type Server struct {
 	revC             *obs.Counter
 	wrongC           *obs.Counter
 	locksG, memBytes *obs.Gauge
-	shardC           []*obs.Counter // lazy per-shard op counters
-	jr               *obs.Journal   // flight recorder (nil-safe)
+	shardC           []*obs.Counter    // lazy per-shard op counters
+	acct             *obs.AccountTable // per-principal server-op attribution
+	jr               *obs.Journal      // flight recorder (nil-safe)
 
 	// Trace, when set, receives debug events.
 	Trace func(format string, args ...any)
@@ -170,6 +171,7 @@ func NewServerWithCarrier(w *sim.World, name string, peers []string, cfg Config,
 		s.wrongC = reg.Counter("lockservice.server.wrongshard#" + name)
 		s.locksG = reg.Gauge("lockservice.server.locks#" + name)
 		s.memBytes = reg.Gauge("lockservice.server.bytes#" + name)
+		s.acct = reg.Accounts()
 		s.jr = reg.Journal(name)
 	}
 	s.px = paxos.NewNode(name, peers, carrier, w.Clock, s.applyCmd)
@@ -430,6 +432,9 @@ func (s *Server) handle(from string, body any) any {
 	}
 	s.cpu.Use(s.cpuCost(body))
 	s.reqC.Inc()
+	// The rpc layer rebinds the sender's principal around handlers, so
+	// server-side work is charged to the originating client.
+	s.acct.ServerOp(obs.CurrentPrincipal())
 	switch m := body.(type) {
 	case ReqMsg:
 		s.onAcquireBatch(m.Clerk, m.Table, 0, []BatchReq{{Lock: m.Lock, Mode: m.Mode, Epoch: m.Epoch}})

@@ -22,6 +22,15 @@ type AnomalyConfig struct {
 	// MinP99Ns suppresses latency anomalies below this p99 (default
 	// 1ms): microsecond jitter on an idle histogram is not a spike.
 	MinP99Ns int64
+	// NoisyShare is the fraction of a window's total bytes (or
+	// lock-wait) one principal must exceed to qualify as a hog in
+	// ObserveAccounts (default 0.5). Values outside (0, 1) take the
+	// default.
+	NoisyShare float64
+	// MinNoisyBytes suppresses noisy-neighbor verdicts on windows
+	// moving fewer total bytes than this (default 1 MB): dominating a
+	// near-idle window is not hogging anything.
+	MinNoisyBytes int64
 }
 
 func (c AnomalyConfig) withDefaults() AnomalyConfig {
@@ -40,6 +49,12 @@ func (c AnomalyConfig) withDefaults() AnomalyConfig {
 	}
 	if c.MinP99Ns <= 0 {
 		c.MinP99Ns = int64(1e6)
+	}
+	if c.NoisyShare <= 0 || c.NoisyShare >= 1 {
+		c.NoisyShare = 0.5
+	}
+	if c.MinNoisyBytes <= 0 {
+		c.MinNoisyBytes = 1 << 20
 	}
 	return c
 }
@@ -172,4 +187,80 @@ func (w *AnomalyWatcher) judgeLocked(key string, v, floor float64) (verdict, boo
 	}
 	t.firing = true
 	return verdict{v: v, base: base}, true
+}
+
+// NoisyNeighbor is one fired noisy-neighbor verdict: the hog held
+// more than NoisyShare of the window's bytes or lock-wait while the
+// victim's per-window op p99 spiked above its own trailing baseline.
+type NoisyNeighbor struct {
+	Kind        string  `json:"kind"` // "bytes" or "lockwait"
+	Hog         string  `json:"hog"`
+	Share       float64 `json:"share"`
+	Victim      string  `json:"victim"`
+	VictimP99Ns int64   `json:"victim_p99_ns"`
+	AtNs        int64   `json:"at_ns"`
+}
+
+// ObserveAccounts judges one closed accounting window (the Win*
+// fields of an AccountTable snapshot taken after Advance) for
+// noisy-neighbor interference: correlation of a dominant principal
+// with another principal's latency excursion. The victim's p99 is
+// judged against its own trailing baseline with the same
+// factor/warm-up machinery as metric anomalies, so a reader that is
+// always slow never indicts a writer that is always busy — only the
+// *change* does. Fired verdicts are journaled as "obs.noisyneighbor"
+// events so they land in the merged forensics timeline.
+func (w *AnomalyWatcher) ObserveAccounts(stats []AccountStat, atNs int64) []NoisyNeighbor {
+	if w == nil || len(stats) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// Judge every principal's windowed p99 first (baselines must
+	// advance every window, spike or not).
+	excursions := make(map[string]int64)
+	var totBytes, totWait int64
+	for _, st := range stats {
+		if _, ok := w.judgeLocked("acct-p99:"+st.Principal,
+			float64(st.WinOpP99Ns), float64(w.cfg.MinP99Ns)); ok {
+			excursions[st.Principal] = st.WinOpP99Ns
+		}
+		totBytes += st.WinBytes()
+		totWait += st.WinLockWaitNs
+	}
+	if len(excursions) == 0 {
+		return nil
+	}
+	var out []NoisyNeighbor
+	for _, st := range stats {
+		var hogs []NoisyNeighbor
+		if totBytes >= w.cfg.MinNoisyBytes {
+			if share := float64(st.WinBytes()) / float64(totBytes); share > w.cfg.NoisyShare {
+				hogs = append(hogs, NoisyNeighbor{Kind: "bytes", Hog: st.Principal, Share: share})
+			}
+		}
+		if totWait > 0 {
+			if share := float64(st.WinLockWaitNs) / float64(totWait); share > w.cfg.NoisyShare {
+				hogs = append(hogs, NoisyNeighbor{Kind: "lockwait", Hog: st.Principal, Share: share})
+			}
+		}
+		for _, hog := range hogs {
+			for _, victim := range sortedKeys(excursions) {
+				if victim == hog.Hog {
+					continue
+				}
+				nn := hog
+				nn.Victim = victim
+				nn.VictimP99Ns = excursions[victim]
+				nn.AtNs = atNs
+				out = append(out, nn)
+			}
+		}
+	}
+	for _, nn := range out {
+		w.jr.Record("obs", "noisyneighbor", nn.Kind, 0, int64(nn.Share*100),
+			fmt.Sprintf("hog %s holds %.0f%% of %s; victim %s p99 %.1fms",
+				nn.Hog, nn.Share*100, nn.Kind, nn.Victim, float64(nn.VictimP99Ns)/1e6))
+	}
+	return out
 }

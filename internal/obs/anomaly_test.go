@@ -88,3 +88,76 @@ func TestAnomalyP99AndJournal(t *testing.T) {
 		t.Fatalf("second spike after recovery: got %v", got)
 	}
 }
+
+// acctWinStats builds one accounting window: a streamer moving most
+// of the bytes and a reader whose p99 is the parameter.
+func acctWinStats(streamBytes, readerWait int64, readerP99 int64) []AccountStat {
+	return []AccountStat{
+		{Principal: "streamer", WinBytesIn: streamBytes, WinOpP99Ns: 5e5,
+			WinLockWaitNs: 20e6},
+		{Principal: "reader", WinBytesOut: 4 << 10, WinOpP99Ns: readerP99,
+			WinLockWaitNs: readerWait},
+	}
+}
+
+func TestNoisyNeighborFires(t *testing.T) {
+	j := NewJournal("cluster", 16, nil)
+	w := NewAnomalyWatcher(j, AnomalyConfig{BaselineWindows: 2, MinP99Ns: 1e6})
+	// Warm up: streamer busy, reader healthy. No verdicts.
+	for i := 0; i < 3; i++ {
+		if got := w.ObserveAccounts(acctWinStats(8<<20, 1e6, 2e6), int64(i+1)*1e9); got != nil {
+			t.Fatalf("warm-up window %d fired %v", i, got)
+		}
+	}
+	// Reader's p99 spikes 20x while the streamer holds >50% of bytes
+	// and lock-wait: both kinds fire, naming hog and victim.
+	got := w.ObserveAccounts(acctWinStats(8<<20, 1e6, 40e6), 4e9)
+	if len(got) != 2 {
+		t.Fatalf("expected bytes+lockwait verdicts, got %v", got)
+	}
+	for _, nn := range got {
+		if nn.Hog != "streamer" || nn.Victim != "reader" || nn.Share <= 0.5 {
+			t.Fatalf("verdict misattributed: %+v", nn)
+		}
+		if nn.Kind != "bytes" && nn.Kind != "lockwait" {
+			t.Fatalf("unknown kind: %+v", nn)
+		}
+	}
+	found := false
+	for _, e := range j.Events() {
+		if e.Layer == "obs" && e.Op == "noisyneighbor" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("noisyneighbor event not journaled")
+	}
+	// Sustained spike: the p99 latch holds, so no re-fire.
+	if got := w.ObserveAccounts(acctWinStats(8<<20, 1e6, 45e6), 5e9); got != nil {
+		t.Fatalf("sustained spike re-fired: %v", got)
+	}
+}
+
+func TestNoisyNeighborNeedsBothSignals(t *testing.T) {
+	w := NewAnomalyWatcher(nil, AnomalyConfig{BaselineWindows: 2, MinP99Ns: 1e6})
+	// Victim spikes but nobody dominates: total bytes split evenly and
+	// below MinNoisyBytes — no verdict even though the excursion fires.
+	even := func(p99 int64) []AccountStat {
+		return []AccountStat{
+			{Principal: "a", WinBytesIn: 100, WinOpP99Ns: 5e5},
+			{Principal: "b", WinBytesOut: 100, WinOpP99Ns: p99},
+		}
+	}
+	w.ObserveAccounts(even(2e6), 1e9)
+	w.ObserveAccounts(even(2e6), 2e9)
+	if got := w.ObserveAccounts(even(40e6), 3e9); got != nil {
+		t.Fatalf("no hog but fired: %v", got)
+	}
+	// A hog without any victim excursion is just a busy tenant.
+	w2 := NewAnomalyWatcher(nil, AnomalyConfig{BaselineWindows: 2, MinP99Ns: 1e6})
+	for i := 0; i < 4; i++ {
+		if got := w2.ObserveAccounts(acctWinStats(8<<20, 1e6, 2e6), int64(i+1)*1e9); got != nil {
+			t.Fatalf("hog without victim fired: %v", got)
+		}
+	}
+}

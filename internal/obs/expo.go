@@ -136,6 +136,39 @@ func (s Snapshot) Prometheus() string {
 			}
 		}
 	}
+
+	// Per-principal accounting rollups: one family per resource kind,
+	// labeled by principal, so a scrape can answer "who is using the
+	// cluster" without per-principal metric-name explosion.
+	if len(s.Accounts) > 0 {
+		for _, fam := range []struct {
+			name string
+			typ  string
+			get  func(AccountStat) int64
+		}{
+			{"frangipani_principal_ops_total", "counter", func(st AccountStat) int64 { return st.Ops }},
+			{"frangipani_principal_bytes_in_total", "counter", func(st AccountStat) int64 { return st.BytesIn }},
+			{"frangipani_principal_bytes_out_total", "counter", func(st AccountStat) int64 { return st.BytesOut }},
+			{"frangipani_principal_wal_bytes_total", "counter", func(st AccountStat) int64 { return st.WALBytes }},
+			{"frangipani_principal_rpcs_total", "counter", func(st AccountStat) int64 { return st.RPCs }},
+			{"frangipani_principal_server_ops_total", "counter", func(st AccountStat) int64 { return st.ServerOps }},
+			{"frangipani_principal_lock_wait_ns_total", "counter", func(st AccountStat) int64 { return st.LockWaitNs }},
+			{"frangipani_principal_cache_misses_total", "counter", func(st AccountStat) int64 { return st.CacheMisses }},
+			{"frangipani_principal_op_p99_ns", "gauge", func(st AccountStat) int64 { return st.OpP99Ns }},
+		} {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", fam.name, fam.typ)
+			rows := make([]string, 0, len(s.Accounts))
+			for _, st := range s.Accounts {
+				rows = append(rows, fmt.Sprintf("%s%s %d",
+					fam.name, promLabels("principal", st.Principal), fam.get(st)))
+			}
+			sort.Strings(rows)
+			for _, r := range rows {
+				b.WriteString(r)
+				b.WriteByte('\n')
+			}
+		}
+	}
 	return b.String()
 }
 

@@ -87,6 +87,55 @@ func TestPrometheusParses(t *testing.T) {
 	}
 }
 
+// TestPrometheusPrincipalSeries is the golden test for the labeled
+// per-principal rollups: exact lines, one family per resource kind,
+// principal as the label, escaping applied.
+func TestPrometheusPrincipalSeries(t *testing.T) {
+	reg := NewRegistry((&fakeClock{}).now)
+	acc := reg.Accounts()
+	acc.Op("tenant-a", 2e6)
+	acc.Bytes("tenant-a", 1048576, 4096)
+	acc.WAL("tenant-a", 512)
+	acc.RPC("tenant-a", 7)
+	acc.ServerOp("tenant-a")
+	acc.LockWait("tenant-a", 3e6)
+	acc.CacheMiss("tenant-a", 2)
+	acc.Bytes("", 100, 0) // unbound work: visible as "unknown"
+	acc.Bytes(`quo"te`, 10, 0)
+
+	out := reg.Snapshot().Prometheus()
+	for _, want := range []string{
+		"# TYPE frangipani_principal_ops_total counter",
+		`frangipani_principal_ops_total{principal="tenant-a"} 1`,
+		`frangipani_principal_bytes_in_total{principal="tenant-a"} 1048576`,
+		`frangipani_principal_bytes_out_total{principal="tenant-a"} 4096`,
+		`frangipani_principal_wal_bytes_total{principal="tenant-a"} 512`,
+		`frangipani_principal_rpcs_total{principal="tenant-a"} 7`,
+		`frangipani_principal_server_ops_total{principal="tenant-a"} 1`,
+		`frangipani_principal_lock_wait_ns_total{principal="tenant-a"} 3000000`,
+		`frangipani_principal_cache_misses_total{principal="tenant-a"} 2`,
+		"# TYPE frangipani_principal_op_p99_ns gauge",
+		`frangipani_principal_bytes_in_total{principal="unknown"} 100`,
+		`frangipani_principal_bytes_in_total{principal="quo\"te"} 10`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The generic well-formedness walk must still pass with principal
+	// series present: each family one TYPE line, samples contiguous.
+	seenType := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fam := strings.Fields(line)[2]
+			if seenType[fam] {
+				t.Fatalf("family %s has two TYPE lines", fam)
+			}
+			seenType[fam] = true
+		}
+	}
+}
+
 func TestPromNameMangling(t *testing.T) {
 	fam, inst := promName("fs.sync.latency#ws1")
 	if fam != "frangipani_fs_sync_latency" || inst != "ws1" {

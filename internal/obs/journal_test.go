@@ -202,6 +202,46 @@ func TestMergeTimelineFilter(t *testing.T) {
 	}
 }
 
+// TestMergeTimelineCombinedFilter checks that predicates compose as a
+// conjunction: an event must satisfy key AND since AND layer at once,
+// and each predicate alone would admit more.
+func TestMergeTimelineCombinedFilter(t *testing.T) {
+	var clock atomic.Int64
+	r := NewRegistry(func() int64 { return clock.Add(10) })
+	j1, j2 := r.Journal("ws1"), r.Journal("ws2")
+
+	j1.Record("lockservice", "acquire", "wait", 7, 0, "") // T=10: right key+layer, too early
+	j1.Record("wal", "flush", "ok", 7, 0, "")             // T=20: right key, wrong layer
+	j2.Record("lockservice", "grant", "sent", 9, 0, "")   // T=30: wrong key
+	j2.Record("lockservice", "revoke", "sent", 7, 0, "")  // T=40: matches all three
+	j1.Record("lockservice", "release", "recv", 7, 0, "") // T=50: matches all three
+
+	f := Filter{Key: 7, Since: 25, Layer: "lockservice"}
+	got := MergeTimeline(r.Journals(), f)
+	if len(got) != 2 {
+		t.Fatalf("combined filter kept %d events, want 2: %+v", len(got), got)
+	}
+	if got[0].Op != "revoke" || got[1].Op != "release" {
+		t.Fatalf("combined filter order: %+v", got)
+	}
+	for _, e := range got {
+		if e.Key != 7 || e.T < 25 || e.Layer != "lockservice" {
+			t.Fatalf("combined filter leaked %+v", e)
+		}
+	}
+	// Each predicate alone is strictly weaker — the conjunction is
+	// doing real work, not shadowed by a single clause.
+	for name, weak := range map[string]Filter{
+		"key":   {Key: 7},
+		"since": {Since: 25},
+		"layer": {Layer: "lockservice"},
+	} {
+		if n := len(MergeTimeline(r.Journals(), weak)); n <= 2 {
+			t.Fatalf("%s-only filter kept %d, expected more than combined", name, n)
+		}
+	}
+}
+
 func TestRenderTimeline(t *testing.T) {
 	if !strings.Contains(RenderTimeline(nil, nil), "no events") {
 		t.Fatal("empty timeline must say so")

@@ -118,6 +118,9 @@ type Registry struct {
 	restabs    map[string]*ResourceTable
 	journals   map[string]*Journal
 	journalOff bool
+	journalCap int
+	accounts   *AccountTable
+	acctOff    bool
 }
 
 // NewRegistry builds a registry on the given clock. A nil now means
@@ -233,6 +236,43 @@ func (r *Registry) Resources(name string) *ResourceTable {
 		r.restabs[name] = t
 	}
 	return t
+}
+
+// Accounts returns the registry's per-principal account table,
+// creating it on first use on the registry's clock. Returns nil when
+// accounting is disabled (SetAccounting) — every AccountTable method
+// is nil-safe, so the ablation knob costs callers nothing.
+func (r *Registry) Accounts() *AccountTable {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	t, off := r.accounts, r.acctOff
+	r.mu.RUnlock()
+	if off {
+		return nil
+	}
+	if t != nil {
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.accounts == nil {
+		r.accounts = NewAccountTable(r.now)
+	}
+	return r.accounts
+}
+
+// SetAccounting enables or disables per-principal accounting.
+// Disabling makes Accounts return nil. Call before components are
+// wired: they capture the pointer once at construction.
+func (r *Registry) SetAccounting(on bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.acctOff = !on
+	r.mu.Unlock()
 }
 
 // names returns the sorted metric names of one kind, for snapshots.

@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPrincipalBinding(t *testing.T) {
+	if got := CurrentPrincipal(); got != "" {
+		t.Fatalf("unbound goroutine reports %q", got)
+	}
+	WithPrincipal("alice", func() {
+		if got := CurrentPrincipal(); got != "alice" {
+			t.Fatalf("bound = %q, want alice", got)
+		}
+		// Nested bindings shadow and restore.
+		WithPrincipal("bob", func() {
+			if got := CurrentPrincipal(); got != "bob" {
+				t.Fatalf("nested = %q, want bob", got)
+			}
+		})
+		if got := CurrentPrincipal(); got != "alice" {
+			t.Fatalf("after nested = %q, want alice", got)
+		}
+		// A spawned goroutine does NOT inherit the binding — the tag
+		// must be carried explicitly (boundedPar, rpc envelope).
+		done := make(chan string, 1)
+		go func() { done <- CurrentPrincipal() }()
+		if got := <-done; got != "" {
+			t.Fatalf("spawned goroutine inherited %q", got)
+		}
+	})
+	if got := CurrentPrincipal(); got != "" {
+		t.Fatalf("binding leaked: %q", got)
+	}
+}
+
+func TestPrincipalBindingDrains(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			WithPrincipal(fmt.Sprintf("p%d", i), func() {
+				WithPrincipal("inner", func() {})
+			})
+		}(i)
+	}
+	wg.Wait()
+	if n := BoundPrincipals(); n != 0 {
+		t.Fatalf("%d bindings leaked", n)
+	}
+}
+
+func TestPrincipalBindingPanicUnwinds(t *testing.T) {
+	func() {
+		defer func() { recover() }()
+		WithPrincipal("doomed", func() { panic("boom") })
+	}()
+	if got := CurrentPrincipal(); got != "" {
+		t.Fatalf("panic leaked binding %q", got)
+	}
+	if n := BoundPrincipals(); n != 0 {
+		t.Fatalf("%d bindings leaked after panic", n)
+	}
+}
+
+func TestAccountTableUnknownPolicy(t *testing.T) {
+	tab := NewAccountTable((&fakeClock{}).now)
+	// Work recorded outside any binding lands in the visible unknown
+	// account, never dropped.
+	tab.Bytes("", 100, 50)
+	tab.Op("", 1e6)
+	stats := tab.Snapshot()
+	if len(stats) != 1 || stats[0].Principal != UnknownPrincipal {
+		t.Fatalf("unbound work did not land in unknown: %+v", stats)
+	}
+	if stats[0].BytesIn != 100 || stats[0].BytesOut != 50 || stats[0].Ops != 1 {
+		t.Fatalf("unknown totals wrong: %+v", stats[0])
+	}
+}
+
+func TestAccountTableCountersAndSort(t *testing.T) {
+	tab := NewAccountTable((&fakeClock{}).now)
+	tab.Bytes("streamer", 1<<20, 0)
+	tab.Op("streamer", 2e6)
+	tab.RPC("streamer", 5)
+	tab.WAL("streamer", 4096)
+	tab.Bytes("reader", 0, 1<<10)
+	tab.Op("reader", 1e6)
+	tab.LockWait("reader", 7e6)
+	tab.CacheMiss("reader", 3)
+	tab.ServerOp("reader")
+
+	stats := tab.Snapshot()
+	if len(stats) != 2 {
+		t.Fatalf("got %d accounts", len(stats))
+	}
+	// Sorted by total bytes desc: streamer first.
+	if stats[0].Principal != "streamer" || stats[1].Principal != "reader" {
+		t.Fatalf("sort order: %s, %s", stats[0].Principal, stats[1].Principal)
+	}
+	s, r := stats[0], stats[1]
+	if s.BytesIn != 1<<20 || s.RPCs != 5 || s.WALBytes != 4096 || s.Ops != 1 {
+		t.Fatalf("streamer stat: %+v", s)
+	}
+	if r.LockWaitNs != 7e6 || r.CacheMisses != 3 || r.ServerOps != 1 || r.BytesOut != 1<<10 {
+		t.Fatalf("reader stat: %+v", r)
+	}
+	if s.OpP99Ns <= 0 || r.OpP50Ns <= 0 {
+		t.Fatalf("latency quantiles missing: %+v %+v", s, r)
+	}
+	out := RenderAccounts(stats)
+	for _, want := range []string{"streamer", "reader", "principals (2)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAccountTableFoldsColdest fills the table past capacity and
+// checks the coldest identity is folded into "other" — bounded table,
+// exact totals.
+func TestAccountTableFoldsColdest(t *testing.T) {
+	tab := NewAccountTable((&fakeClock{}).now)
+	tab.Bytes(UnknownPrincipal, 1, 0) // reserved, never folded
+	for i := 0; i < maxAccounts-1; i++ {
+		tab.Bytes(fmt.Sprintf("p%03d", i), int64(1000+i), 0)
+		tab.Op(fmt.Sprintf("p%03d", i), 1e6)
+	}
+	if tab.Len() != maxAccounts {
+		t.Fatalf("len = %d, want %d", tab.Len(), maxAccounts)
+	}
+	var before int64
+	for _, st := range tab.Snapshot() {
+		before += st.Bytes() + st.Ops
+	}
+	// One more principal forces folds of the coldest: the first fold
+	// creates "other" (no slot freed), the second frees p001's slot.
+	tab.Bytes("newcomer", 5000, 0)
+	if tab.Len() != maxAccounts {
+		t.Fatalf("table grew past cap: %d", tab.Len())
+	}
+	stats := tab.Snapshot()
+	var after int64
+	var other *AccountStat
+	for i, st := range stats {
+		after += st.Bytes() + st.Ops
+		if st.Principal == "p000" || st.Principal == "p001" {
+			t.Fatalf("coldest principal %s not folded", st.Principal)
+		}
+		if st.Principal == OtherPrincipal {
+			other = &stats[i]
+		}
+	}
+	if after != before+5000 {
+		t.Fatalf("fold lost totals: before %d + 5000 != after %d", before, after)
+	}
+	if other == nil || other.BytesIn != 1000+1001 || other.Ops != 2 {
+		t.Fatalf("other did not absorb victims: %+v", other)
+	}
+	if other.OpP99Ns <= 0 {
+		t.Fatal("other lost victims' latency distribution")
+	}
+}
+
+func TestAccountTableAdvanceWindows(t *testing.T) {
+	clk := &fakeClock{}
+	tab := NewAccountTable(clk.now)
+	tab.Bytes("w", 1000, 0)
+	tab.Op("w", 5e6)
+	tab.LockWait("w", 2e6)
+	tab.Advance()
+	stats := tab.Snapshot()
+	if len(stats) != 1 {
+		t.Fatalf("accounts: %d", len(stats))
+	}
+	st := stats[0]
+	if st.WinBytesIn != 1000 || st.WinOps != 1 || st.WinLockWaitNs != 2e6 {
+		t.Fatalf("first window deltas: %+v", st)
+	}
+	if st.WinSeconds <= 0 {
+		t.Fatalf("window seconds: %v", st.WinSeconds)
+	}
+	if st.WinOpP99Ns <= 0 {
+		t.Fatalf("window p99 missing: %+v", st)
+	}
+	// Second window sees only the new activity, cumulative keeps all.
+	tab.Bytes("w", 500, 0)
+	tab.Advance()
+	st = tab.Snapshot()[0]
+	if st.WinBytesIn != 500 || st.WinOps != 0 {
+		t.Fatalf("second window deltas: %+v", st)
+	}
+	if st.BytesIn != 1500 {
+		t.Fatalf("cumulative lost: %+v", st)
+	}
+	// An idle window reports zero p99, not the stale one.
+	tab.Advance()
+	if st = tab.Snapshot()[0]; st.WinOpP99Ns != 0 || st.WinBytesIn != 0 {
+		t.Fatalf("idle window not zeroed: %+v", st)
+	}
+}
+
+func TestAccountTableNilSafe(t *testing.T) {
+	var tab *AccountTable
+	tab.Op("x", 1)
+	tab.Bytes("x", 1, 1)
+	tab.WAL("x", 1)
+	tab.RPC("x", 1)
+	tab.ServerOp("x")
+	tab.LockWait("x", 1)
+	tab.CacheMiss("x", 1)
+	tab.Advance()
+	if tab.Snapshot() != nil || tab.Len() != 0 {
+		t.Fatal("nil table must be inert")
+	}
+	var r *Registry
+	if r.Accounts() != nil {
+		t.Fatal("nil registry must hand out nil accounts")
+	}
+	r.SetAccounting(false)
+}
+
+func TestRegistryAccountingKnob(t *testing.T) {
+	r := NewRegistry(nil)
+	r.SetAccounting(false)
+	if r.Accounts() != nil {
+		t.Fatal("accounting off must hand out nil")
+	}
+	r.SetAccounting(true)
+	a := r.Accounts()
+	if a == nil || a != r.Accounts() {
+		t.Fatal("Accounts must create once and reuse")
+	}
+	a.Bytes("tenant", 10, 0)
+	snap := r.Snapshot()
+	if len(snap.Accounts) != 1 || snap.Accounts[0].Principal != "tenant" {
+		t.Fatalf("snapshot accounts: %+v", snap.Accounts)
+	}
+	if !strings.Contains(snap.Text(), "tenant") {
+		t.Fatal("snapshot text missing principal table")
+	}
+}
+
+func TestAccountTableConcurrent(t *testing.T) {
+	tab := NewAccountTable(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := fmt.Sprintf("p%d", w%3)
+			for i := 0; i < 200; i++ {
+				tab.Op(p, int64(i))
+				tab.Bytes(p, 10, 5)
+				tab.LockWait(p, 1)
+				if i%50 == 0 {
+					tab.Advance()
+					tab.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, st := range tab.Snapshot() {
+		total += st.BytesIn
+	}
+	if total != 8*200*10 {
+		t.Fatalf("lost bytes under concurrency: %d", total)
+	}
+}

@@ -23,6 +23,7 @@ type Snapshot struct {
 	Gauges     map[string]int64          `json:"gauges,omitempty"`
 	Histograms map[string]HistStat       `json:"histograms,omitempty"`
 	Resources  map[string][]ResourceStat `json:"resources,omitempty"`
+	Accounts   []AccountStat             `json:"accounts,omitempty"`
 	SlowOps    []string                  `json:"slow_ops,omitempty"`
 }
 
@@ -64,7 +65,9 @@ func (r *Registry) Snapshot() Snapshot {
 			}
 		}
 	}
+	accounts := r.accounts
 	r.mu.RUnlock()
+	s.Accounts = accounts.Snapshot()
 	s.SlowOps = r.tr.SlowDumps()
 	return s
 }
@@ -125,6 +128,7 @@ func (s Snapshot) Text() string {
 	for _, name := range sortedKeys(s.Resources) {
 		b.WriteString(RenderResources("hot resources ("+name+")", s.Resources[name]))
 	}
+	b.WriteString(RenderAccounts(s.Accounts))
 	if len(s.SlowOps) > 0 {
 		fmt.Fprintf(&b, "slow ops (%d):\n", len(s.SlowOps))
 		for _, d := range s.SlowOps {

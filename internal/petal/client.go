@@ -70,6 +70,7 @@ type Client struct {
 	now    obs.NowFunc
 	tr     *obs.Tracer
 	opLats map[string]*obs.Histogram // read/readv/write/writev latency
+	acct   *obs.AccountTable         // per-principal RPC attribution
 	jr     *obs.Journal              // flight recorder (nil-safe)
 }
 
@@ -159,6 +160,7 @@ func NewClientWithCarrier(w *sim.World, machine string, servers []string, carrie
 		}
 		c.now = reg.Now
 		c.tr = reg.Tracer()
+		c.acct = reg.Accounts()
 		c.jr = reg.Journal(machine)
 		c.opLats = map[string]*obs.Histogram{
 			"read":   reg.Histogram("petal.read.latency#" + machine),
@@ -382,6 +384,9 @@ func (c *Client) retryPause(attempt int, deadline sim.Time) {
 func (c *Client) call(srv string, req any, timeout sim.Duration) (any, error) {
 	g := c.infl[srv]
 	g.Add(1)
+	// Every data-path RPC (including retries and failovers) is charged
+	// to the principal whose operation issued it.
+	c.acct.RPC(obs.CurrentPrincipal(), 1)
 	resp, err := c.ep.Call(DataAddr(srv), req, timeout)
 	g.Add(-1)
 	return resp, err
@@ -559,16 +564,20 @@ func boundedPar[T any](limit int, items []T, f func(T) error) error {
 	}
 	sem := make(chan struct{}, limit)
 	errCh := make(chan error, len(items))
-	// Span bindings are per-goroutine: carry the caller's trace
-	// context into the workers so fanned-out RPCs stay in the tree.
+	// Span and principal bindings are per-goroutine: carry the
+	// caller's trace context and principal into the workers so
+	// fanned-out RPCs stay in the tree and stay attributed.
 	cur := obs.Current()
+	who := obs.CurrentPrincipal()
 	var wg sync.WaitGroup
 	for _, it := range items {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(it T) {
 			defer wg.Done()
-			obs.With(cur, func() { errCh <- f(it) })
+			obs.With(cur, func() {
+				obs.WithPrincipal(who, func() { errCh <- f(it) })
+			})
 			<-sem
 		}(it)
 	}

@@ -73,10 +73,11 @@ type Server struct {
 
 	tr       *obs.Tracer
 	reqC     *obs.Counter
-	inflight *obs.Gauge   // data-path requests currently being served
-	depthHi  *obs.Gauge   // high-water mark of inflight (queue depth)
-	missedG  *obs.Gauge   // replica-lag backlog: chunks partners missed
-	jr       *obs.Journal // flight recorder (nil-safe)
+	inflight *obs.Gauge        // data-path requests currently being served
+	depthHi  *obs.Gauge        // high-water mark of inflight (queue depth)
+	missedG  *obs.Gauge        // replica-lag backlog: chunks partners missed
+	acct     *obs.AccountTable // per-principal server-op attribution
+	jr       *obs.Journal      // flight recorder (nil-safe)
 }
 
 const dataTimeout = 5 * time.Second
@@ -121,6 +122,7 @@ func NewServerWithCarrier(w *sim.World, name string, peers []string, cfg ServerC
 		s.inflight = reg.Gauge("petal.server.inflight#" + name)
 		s.depthHi = reg.Gauge("petal.server.inflight.peak#" + name)
 		s.missedG = reg.Gauge("petal.server.missed#" + name)
+		s.acct = reg.Accounts()
 		s.jr = reg.Journal(name)
 	}
 
@@ -209,6 +211,9 @@ func (s *Server) handle(from string, body any) any {
 		return nil
 	}
 	s.reqC.Inc()
+	// The rpc layer rebinds the sender's principal around handlers, so
+	// server-side work is charged to the originating client.
+	s.acct.ServerOp(obs.CurrentPrincipal())
 	switch m := body.(type) {
 	case ReadReq:
 		return s.spanned("server.read", func() any { return s.onRead(m) })

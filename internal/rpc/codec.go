@@ -24,6 +24,7 @@ import (
 //	uvarint id<<1 | isReply
 //	uvarint trace
 //	uvarint span
+//	string  principal  (uvarint length + bytes; usually empty)
 //	uvarint headerLen
 //	[]byte  header     type-specific fields (AppendWireHeader)
 //	[]byte  payload    raw payload bytes, zero-copy on encode
@@ -139,6 +140,7 @@ func AppendMessageHeader(dst []byte, payloads [][]byte, env Envelope) (hdr []byt
 			dst = binary.AppendUvarint(dst, idBits)
 			dst = binary.AppendUvarint(dst, env.Trace)
 			dst = binary.AppendUvarint(dst, env.Span)
+			dst = AppendString(dst, env.Principal)
 			mark := len(dst)
 			// Reserve a fixed 4-byte spot for headerLen so the header
 			// can be appended in place, then patch it.
@@ -198,6 +200,7 @@ func DecodeMessage(data []byte, rb *RecvBuf) (body any, retained bool, err error
 	idBits := c.Uvarint()
 	trace := c.Uvarint()
 	span := c.Uvarint()
+	principal := c.String()
 	if c.Bad || c.Off+4 > len(data) {
 		return nil, false, fmt.Errorf("%w: truncated envelope", ErrBadMessage)
 	}
@@ -213,11 +216,12 @@ func DecodeMessage(data []byte, rb *RecvBuf) (body any, retained bool, err error
 		return nil, false, err
 	}
 	return Envelope{
-		ID:      idBits >> 1,
-		IsReply: idBits&1 != 0,
-		Trace:   trace,
-		Span:    span,
-		Body:    inner,
+		ID:        idBits >> 1,
+		IsReply:   idBits&1 != 0,
+		Trace:     trace,
+		Span:      span,
+		Principal: principal,
+		Body:      inner,
 	}, retained, nil
 }
 

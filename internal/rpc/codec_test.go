@@ -17,15 +17,15 @@ import (
 func sampleEnvelopes() []rpc.Envelope {
 	return []rpc.Envelope{
 		{ID: 1, Body: petal.ReadReq{VDisk: "vd", Chunk: 7, Off: 512, Len: 4096}},
-		{ID: 1, IsReply: true, Trace: 99, Span: 7, Body: petal.ReadResp{OK: true, Data: []byte("hello")}},
-		{ID: 2, IsReply: true, Body: petal.ReadResp{OK: true, Data: nil}},            // hole
-		{ID: 3, IsReply: true, Body: petal.ReadResp{OK: true, Data: []byte{}}},       // present, empty
-		{ID: 4, IsReply: true, Body: petal.ReadResp{OK: false, Err: "petal: boom"}},  // error
+		{ID: 1, IsReply: true, Trace: 99, Span: 7, Principal: "tenant-7", Body: petal.ReadResp{OK: true, Data: []byte("hello")}},
+		{ID: 2, IsReply: true, Body: petal.ReadResp{OK: true, Data: nil}},           // hole
+		{ID: 3, IsReply: true, Body: petal.ReadResp{OK: true, Data: []byte{}}},      // present, empty
+		{ID: 4, IsReply: true, Body: petal.ReadResp{OK: false, Err: "petal: boom"}}, // error
 		{ID: 5, Body: petal.ReadVReq{VDisk: "vd", Extents: []petal.ReadVExtent{{Chunk: 1, Off: 0, Len: 8}, {Chunk: 2, Off: 100, Len: 9}}}},
 		{ID: 5, IsReply: true, Body: petal.ReadVResp{OK: true, Results: []petal.ReadVExtentResult{
 			{OK: true, Data: []byte("abc")},
-			{OK: true},                         // hole
-			{OK: false, Err: "crc"},            // extent-local failure
+			{OK: true},                        // hole
+			{OK: false, Err: "crc"},           // extent-local failure
 			{OK: true, Data: []byte{1, 2, 3}}, // more data after failure
 		}}},
 		{ID: 6, Trace: 1, Span: 2, Body: petal.WriteReq{VDisk: "vd", Chunk: 9, Off: 1024, Data: []byte("payload"), Forwarded: true, ExpireAt: -5, LeaseID: 42, Epoch: 3}},
@@ -56,7 +56,8 @@ func TestCodecRoundTrip(t *testing.T) {
 		if !ok {
 			t.Fatalf("case %d: decoded %T, want Envelope", i, body)
 		}
-		if got.ID != env.ID || got.IsReply != env.IsReply || got.Trace != env.Trace || got.Span != env.Span {
+		if got.ID != env.ID || got.IsReply != env.IsReply || got.Trace != env.Trace ||
+			got.Span != env.Span || got.Principal != env.Principal {
 			t.Fatalf("case %d: envelope mismatch: got %+v want %+v", i, got, env)
 		}
 		if !reflect.DeepEqual(got.Body, env.Body) {
@@ -105,10 +106,10 @@ func FuzzCodecRoundTrip(f *testing.F) {
 			f.Add(msg[:len(msg)-3]) // truncated frame
 		}
 	}
-	f.Add([]byte{})                                     // empty
-	f.Add([]byte{0xC8, 0xFF, 0xFF})                     // unknown tag
+	f.Add([]byte{})                                                              // empty
+	f.Add([]byte{0xC8, 0xFF, 0xFF})                                              // unknown tag
 	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}) // oversized varint
-	f.Add([]byte{5, 1, 0, 0, 0xFF, 0xFF, 0xFF, 0x7F})   // oversized header length
+	f.Add([]byte{5, 1, 0, 0, 0xFF, 0xFF, 0xFF, 0x7F})                            // oversized header length
 	f.Fuzz(func(t *testing.T, data []byte) {
 		body, _, err := rpc.DecodeMessage(data, nil)
 		if err != nil {

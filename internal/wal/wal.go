@@ -119,7 +119,8 @@ type Log struct {
 	appendLat *obs.Histogram
 	flushLat  *obs.Histogram
 	groupLat  *obs.Histogram
-	jr        *obs.Journal // flight recorder (nil-safe)
+	jr        *obs.Journal      // flight recorder (nil-safe)
+	acct      *obs.AccountTable // per-principal accounting (nil-safe)
 }
 
 type recSpan struct {
@@ -162,6 +163,7 @@ func (l *Log) SetObs(reg *obs.Registry, instance string) {
 	l.flushLat = reg.Histogram("wal.flush.latency#" + instance)
 	l.groupLat = reg.Histogram("wal.groupcommit.latency#" + instance)
 	l.jr = reg.Journal(instance)
+	l.acct = reg.Accounts()
 	l.mu.Unlock()
 }
 
@@ -251,6 +253,9 @@ func (l *Log) Append(ups []Update) (int64, error) {
 	}
 	l.nextSeq = seq
 	l.appends.Inc()
+	// Append runs on the operation's own goroutine, so the caller's
+	// principal binding is in scope to charge the log bytes.
+	l.acct.WAL(obs.CurrentPrincipal(), need)
 	l.jr.Record("wal", "append", "ok", uint64(seq), need, "")
 	l.pending = append(l.pending, recSpan{seq: seq, start: l.head, end: l.head + need})
 	l.buf = append(l.buf, rec...)
