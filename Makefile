@@ -41,6 +41,12 @@ bench:
 ## an interactive reader and asserts >= 95% of bytes and lock-wait are
 ## attributed, the writer ranks first by bytes, and the watcher's
 ## obs.noisyneighbor verdict lands in the merged forensics timeline.
+## scale-sweep runs the big-N experiment (8/16/32 machines in -quick)
+## and asserts read AND write throughput stay >= 0.7x linear from 8 to
+## 32 servers, and that busy clerks sent ZERO standalone renew RPCs
+## (lease renewal rides entirely on lock batches); on failure it dumps
+## FORENSICS_scale-sweep.json. Its per-N curves are persisted to the
+## trajectory as BENCH_scale_<utc-timestamp>.json.
 ## The final step persists this build's point on the perf
 ## trajectory as BENCH_<utc-timestamp>.json (schema frangipani-bench/v1).
 bench-smoke:
@@ -52,6 +58,7 @@ bench-smoke:
 	$(GO) run ./cmd/frangibench -quick -exp lock-scaling
 	$(GO) run ./cmd/frangibench -quick -exp obs-overhead
 	$(GO) run ./cmd/frangibench -quick -exp noisy-neighbor-obs
+	$(GO) run ./cmd/frangibench -quick -exp scale-sweep -out BENCH_scale_$$(date -u +%Y%m%dT%H%M%SZ).json
 	$(GO) run ./cmd/frangibench -out BENCH_$$(date -u +%Y%m%dT%H%M%SZ).json
 
 ## bench-codec: raw codec-vs-gob microbenchmarks with allocation counts.

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"runtime"
 	"strings"
 	"time"
 
@@ -30,7 +31,8 @@ var names = []string{
 	"fig5", "fig6", "fig7", "fig7-norepl", "fig8", "fig9",
 	"wshare", "smallreads", "ablation-synclog", "writeback-pipeline",
 	"read-scaling", "obs-overhead", "obs-smoke", "contention-profile",
-	"codec-mux", "lock-scaling", "forensics-smoke", "noisy-neighbor-obs",
+	"codec-mux", "lock-scaling", "scale-sweep", "forensics-smoke",
+	"noisy-neighbor-obs",
 }
 
 func main() {
@@ -223,10 +225,16 @@ const trajectorySchema = "frangipani-bench/v1"
 // trajectoryRecord is one persisted point on the perf trajectory:
 // which experiment ran, on which commit, when, and its metrics.
 type trajectoryRecord struct {
-	Schema     string       `json:"schema"`
-	Experiment string       `json:"experiment"`
-	GitSHA     string       `json:"git_sha"`
-	TakenAt    string       `json:"taken_at"`
+	Schema     string `json:"schema"`
+	Experiment string `json:"experiment"`
+	GitSHA     string `json:"git_sha"`
+	TakenAt    string `json:"taken_at"`
+	// GoMaxProcs and NumCPU identify the host parallelism a record
+	// was measured under: scaling sweeps dilate the simulated clock,
+	// but host saturation can still skew absolute numbers, so trend
+	// tooling must compare like with like.
+	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
 	Table      *bench.Table `json:"table,omitempty"`
 	Report     *benchReport `json:"report,omitempty"`
 }
@@ -239,6 +247,8 @@ func writeTrajectory(path, experiment string, tb *bench.Table, rep *benchReport)
 		Experiment: experiment,
 		GitSHA:     gitSHA(),
 		TakenAt:    time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Table:      tb,
 		Report:     rep,
 	}

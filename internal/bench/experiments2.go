@@ -513,6 +513,7 @@ func (o Options) All() ([]*Table, error) {
 		{"obs-smoke", o.ObsSmoke},
 		{"codec-mux", o.CodecMux},
 		{"lock-scaling", o.LockScaling},
+		{"scale-sweep", o.ScaleSweep},
 		{"forensics-smoke", o.ForensicsSmoke},
 		{"noisy-neighbor-obs", o.NoisyNeighborObs},
 	}
@@ -568,6 +569,8 @@ func (o Options) ByName(name string) (*Table, error) {
 		return o.CodecMux()
 	case "lock-scaling":
 		return o.LockScaling()
+	case "scale-sweep":
+		return o.ScaleSweep()
 	case "forensics-smoke":
 		return o.ForensicsSmoke()
 	case "noisy-neighbor-obs":

@@ -23,9 +23,27 @@ import (
 // (inode, then metadata blocks, then data blocks, then large), so
 // segment acquisitions are naturally ascending.
 
-// segHasFreeBit scans a segment's bitmap sectors for a clear bit in
-// the class range, under the segment lock (already held). It returns
-// the bit index, or -1.
+// segKey names one (class, segment) scan range: segments can straddle
+// class boundaries, so fullness and resume hints are per class, not
+// per segment.
+type segKey struct {
+	c   allocClass
+	seg int64
+}
+
+// segScan scans a segment's bitmap sectors for a clear bit in the
+// class range, under the segment lock (already held). It returns the
+// bit index, or -1.
+//
+// The scan is hinted: it resumes from the bit after the last
+// successful claim (segResume) instead of rescanning the class floor
+// on every allocation — without hints, a filling segment costs
+// O(allocated bits) per allocation, which is what made big clusters
+// spend their time re-reading full bitmap prefixes. The hint is
+// advisory: a miss from a nonzero resume point falls back to ONE full
+// scan from the clamped floor before the segment is declared full
+// (bits below the hint can be legitimately free after a local free or
+// an aborted transaction), so "full" verdicts stay exact.
 func (fs *FS) segScan(t *txn, seg int64, c allocClass) (int64, error) {
 	lockID := SegLock(seg)
 	clo, chi := fs.lay.classRange(c)
@@ -37,13 +55,47 @@ func (fs *FS) segScan(t *txn, seg int64, c allocClass) (int64, error) {
 	if hi > chi {
 		hi = chi
 	}
+	key := segKey{c, seg}
+	fs.mu.Lock()
+	start := lo
+	if r, ok := fs.segResume[key]; ok && r > lo && r < hi {
+		start = r
+		fs.m.allocResume.Inc()
+	}
+	fs.mu.Unlock()
+	bit, err := fs.segScanRange(t, lockID, start, hi)
+	if err != nil {
+		return -1, err
+	}
+	if bit < 0 && start > lo {
+		// Hint miss: rescan the skipped prefix once before giving up.
+		fs.m.allocRescan.Inc()
+		bit, err = fs.segScanRange(t, lockID, lo, start)
+		if err != nil {
+			return -1, err
+		}
+	}
+	fs.mu.Lock()
+	if bit >= 0 {
+		fs.segResume[key] = bit + 1
+		delete(fs.segFull, key)
+	} else {
+		fs.segFull[key] = true
+		delete(fs.segResume, key)
+	}
+	fs.mu.Unlock()
+	return bit, nil
+}
+
+// segScanRange scans bitmap bits [lo, hi) for a clear bit, claiming
+// the first one found inside the transaction.
+func (fs *FS) segScanRange(t *txn, lockID uint64, lo, hi int64) (int64, error) {
 	for b := lo; b < hi; {
-		addr, byteOff, _ := fs.lay.bitLoc(b)
+		addr, _, _ := fs.lay.bitLoc(b)
 		e, err := fs.readMeta(addr, lockID)
 		if err != nil {
 			return -1, err
 		}
-		_ = byteOff
 		for ; b < hi; b++ {
 			a2, byteOff2, mask := fs.lay.bitLoc(b)
 			if a2 != addr {
@@ -81,9 +133,44 @@ func (t *txn) lockSeg(seg int64) error {
 // portions; we pick a starting probe position by hashing the machine
 // name so servers naturally spread out.
 func (fs *FS) allocObj(t *txn, c allocClass) (int64, error) {
-	// First try segments we already own.
+	// Sticky fast path: the segment that satisfied the last
+	// allocation of this class almost certainly has room for the
+	// next one, and with the resume hint the claim is O(1). This is
+	// what keeps per-allocation cost independent of how many
+	// segments the server has filled and abandoned over its life.
 	fs.mu.Lock()
-	segs := append([]int64(nil), fs.owned[c]...)
+	sticky, hasSticky := fs.stickySeg[c]
+	if hasSticky && fs.segFull[segKey{c, sticky}] {
+		hasSticky = false
+	}
+	fs.mu.Unlock()
+	if hasSticky {
+		if err := t.lockSeg(sticky); err != nil {
+			return -1, err
+		}
+		bit, err := fs.segScan(t, sticky, c)
+		if err != nil {
+			return -1, err
+		}
+		if bit >= 0 {
+			fs.m.allocSticky.Inc()
+			_, idx := fs.lay.objForBit(bit)
+			return idx, nil
+		}
+	}
+	// Then try segments we already own, skipping known-full ones.
+	fs.mu.Lock()
+	segs := make([]int64, 0, len(fs.owned[c]))
+	for _, seg := range fs.owned[c] {
+		if seg == sticky && hasSticky {
+			continue // just tried
+		}
+		if fs.segFull[segKey{c, seg}] {
+			fs.m.allocSkipFull.Inc()
+			continue
+		}
+		segs = append(segs, seg)
+	}
 	fs.mu.Unlock()
 	for _, seg := range segs {
 		if err := t.lockSeg(seg); err != nil {
@@ -94,6 +181,9 @@ func (fs *FS) allocObj(t *txn, c allocClass) (int64, error) {
 			return -1, err
 		}
 		if bit >= 0 {
+			fs.mu.Lock()
+			fs.stickySeg[c] = seg
+			fs.mu.Unlock()
 			_, idx := fs.lay.objForBit(bit)
 			return idx, nil
 		}
@@ -115,6 +205,16 @@ func (fs *FS) allocObj(t *txn, c allocClass) (int64, error) {
 		if fs.ownsSeg(c, seg) {
 			continue
 		}
+		// Skip segments this server already probed and found full;
+		// without this every probe pass rescans the same exhausted
+		// prefix of the class range (O(filled segments) per probe).
+		fs.mu.Lock()
+		full := fs.segFull[segKey{c, seg}]
+		fs.mu.Unlock()
+		if full {
+			fs.m.allocSkipFull.Inc()
+			continue
+		}
 		if err := t.lockSeg(seg); err != nil {
 			return -1, err
 		}
@@ -126,11 +226,17 @@ func (fs *FS) allocObj(t *txn, c allocClass) (int64, error) {
 			fs.mu.Lock()
 			fs.owned[c] = insertSorted(fs.owned[c], seg)
 			fs.probeOff[c] = (off + i) % n
+			fs.stickySeg[c] = seg
 			fs.mu.Unlock()
 			_, idx := fs.lay.objForBit(bit)
 			return idx, nil
 		}
-		// Full segment: not worth keeping.
+		// Full segment (segScan marked it): not worth keeping. Resume
+		// the class probe after it next time instead of from the same
+		// start, so repeated probes do not re-walk the filled prefix.
+		fs.mu.Lock()
+		fs.probeOff[c] = (off + i + 1) % n
+		fs.mu.Unlock()
 	}
 	return -1, ErrNoSpace
 }
@@ -168,13 +274,14 @@ type freeSpec struct {
 // (deadlock discipline).
 func (fs *FS) freeObjs(t *txn, items []freeSpec) error {
 	type bitSpec struct {
-		bit int64
-		seg int64
+		bit   int64
+		seg   int64
+		class allocClass
 	}
 	bits := make([]bitSpec, 0, len(items))
 	for _, it := range items {
 		b := fs.lay.bitFor(it.class, it.idx)
-		bits = append(bits, bitSpec{bit: b, seg: b / fs.lay.SegBits})
+		bits = append(bits, bitSpec{bit: b, seg: b / fs.lay.SegBits, class: it.class})
 	}
 	sort.Slice(bits, func(a, b int) bool { return bits[a].bit < bits[b].bit })
 	for _, bs := range bits {
@@ -188,6 +295,15 @@ func (fs *FS) freeObjs(t *txn, items []freeSpec) error {
 		}
 		nb := []byte{e.Data[byteOff] &^ mask}
 		t.forceUpdate(e, byteOff, nb)
+		// A freed bit un-fulls its segment and must pull the scan
+		// resume point back below it, or the next scan would skip it.
+		key := segKey{bs.class, bs.seg}
+		fs.mu.Lock()
+		delete(fs.segFull, key)
+		if r, ok := fs.segResume[key]; ok && r > bs.bit {
+			fs.segResume[key] = bs.bit
+		}
+		fs.mu.Unlock()
 	}
 	return nil
 }

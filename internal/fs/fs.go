@@ -121,6 +121,8 @@ type fsMetrics struct {
 	ops, bytesRead, bytesWritten *obs.Counter
 	retries, recoveries          *obs.Counter
 	raHits, raWasted             *obs.Counter
+	allocSticky, allocResume     *obs.Counter
+	allocRescan, allocSkipFull   *obs.Counter
 	flushBatches, flushRuns      *obs.Counter
 	flushPages                   *obs.Counter
 	metaBatch, metaBatchSectors  *obs.Counter
@@ -150,6 +152,10 @@ func newFSMetrics(reg *obs.Registry, machine string) fsMetrics {
 		recoveries:       c("recovery.count"),
 		raHits:           c("readahead.hits"),
 		raWasted:         c("readahead.wasted"),
+		allocSticky:      c("alloc.sticky.hits"),
+		allocResume:      c("alloc.resume.hits"),
+		allocRescan:      c("alloc.rescan"),
+		allocSkipFull:    c("alloc.skip.full"),
 		flushBatches:     c("flush.batches"),
 		flushRuns:        c("flush.runs"),
 		flushPages:       c("flush.pages"),
@@ -184,6 +190,14 @@ type FS struct {
 	mu       sync.Mutex
 	owned    map[allocClass][]int64
 	probeOff map[allocClass]int64
+	// Allocator scan hints (all under mu). They are advisory: hints
+	// only skip work that a scan of the authoritative bitmap (read
+	// under the segment lock) would repeat, and every path that can
+	// clear a bit — a local free, a remote steal revoking the segment
+	// lock, lease loss — invalidates them.
+	stickySeg map[allocClass]int64 // last segment that allocated; -1/absent = none
+	segResume map[segKey]int64     // next bit segScan resumes from
+	segFull   map[segKey]bool      // segments known full for a class
 	appended int64 // highest log seq appended
 	flushed  int64 // log seq known flushed
 	poisoned bool
@@ -277,8 +291,11 @@ func Mount(w *sim.World, machine string, pc *petal.Client, vd petal.VDiskID,
 		cpu:      w.CPU(machine),
 		meta:     cache.NewPool(SectorSize, cfg.MetaCacheCap),
 		data:     cache.NewPool(BlockSize, cfg.DataCacheCap),
-		owned:    make(map[allocClass][]int64),
-		probeOff: make(map[allocClass]int64),
+		owned:     make(map[allocClass][]int64),
+		probeOff:  make(map[allocClass]int64),
+		stickySeg: make(map[allocClass]int64),
+		segResume: make(map[segKey]int64),
+		segFull:   make(map[segKey]bool),
 		raNext:   make(map[int64]int64),
 		raHigh:   make(map[int64]int64),
 		raBusy:   make(map[int64]int),
@@ -1270,7 +1287,10 @@ func (fs *FS) flushOwner(lock uint64) {
 }
 
 // dropSegment forgets an owned allocation segment when its lock is
-// revoked (another server is stealing it).
+// revoked (another server is stealing it). The scan hints covering
+// the segment go with it: once the lock is gone the thief may free
+// bits below our resume point or refill a segment we marked full, so
+// the hints are only trustworthy while the lock is held.
 func (fs *FS) dropSegment(lock uint64) {
 	seg := int64(lock &^ (0xff << 56))
 	fs.mu.Lock()
@@ -1282,7 +1302,28 @@ func (fs *FS) dropSegment(lock uint64) {
 			}
 		}
 	}
+	fs.dropSegHintsLocked(seg)
 	fs.mu.Unlock()
+}
+
+// dropSegHintsLocked invalidates every allocator hint touching seg.
+// Caller holds fs.mu.
+func (fs *FS) dropSegHintsLocked(seg int64) {
+	for c, s := range fs.stickySeg {
+		if s == seg {
+			delete(fs.stickySeg, c)
+		}
+	}
+	for k := range fs.segResume {
+		if k.seg == seg {
+			delete(fs.segResume, k)
+		}
+	}
+	for k := range fs.segFull {
+		if k.seg == seg {
+			delete(fs.segFull, k)
+		}
+	}
 }
 
 // onRecover is the recovery demon (§4): replay the dead server's log
@@ -1324,5 +1365,8 @@ func (fs *FS) onLeaseLost() {
 		fs.poisoned = true
 	}
 	fs.owned = make(map[allocClass][]int64)
+	fs.stickySeg = make(map[allocClass]int64)
+	fs.segResume = make(map[segKey]int64)
+	fs.segFull = make(map[segKey]bool)
 	fs.mu.Unlock()
 }

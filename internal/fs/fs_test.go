@@ -35,8 +35,15 @@ func lockCfg() lockservice.Config {
 
 func newTestWorld(t *testing.T) *testWorld {
 	t.Helper()
+	return newTestWorldLayout(t, DefaultLayout())
+}
+
+// newTestWorldLayout is newTestWorld with a caller-chosen layout, for
+// tests that need small class ranges (e.g. inode exhaustion).
+func newTestWorldLayout(t *testing.T, lay Layout) *testWorld {
+	t.Helper()
 	w := sim.NewWorld(100, 99)
-	tw := &testWorld{w: w, lay: DefaultLayout(), vd: "shared"}
+	tw := &testWorld{w: w, lay: lay, vd: "shared"}
 
 	pcfg := petal.DefaultServerConfig(256 << 20)
 	pcfg.NumDisks = 3

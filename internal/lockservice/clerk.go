@@ -65,6 +65,10 @@ type Clerk struct {
 	leaseID   uint64
 	logSlot   int
 	acks      map[string]sim.Time
+	// renewSent is the last time a renewal (standalone or piggybacked
+	// on a batch) was transmitted to each server; flushLocked uses it
+	// to stamp Renew on batches no more often than needed.
+	renewSent map[string]sim.Time
 	opened    bool
 	closed    bool
 	leaseLost bool
@@ -103,6 +107,9 @@ type Clerk struct {
 	batchC     *obs.Counter       // outbound batch messages
 	batchOpsC  *obs.Counter       // lock ops carried in those batches
 	renewSkipC *obs.Counter       // renew ticks skipped (predecessor in flight)
+	renewStdC  *obs.Counter       // standalone RenewMsg calls issued
+	renewPigC  *obs.Counter       // renewals piggybacked on batches
+	renewElidC *obs.Counter       // per-server standalone calls elided (fresh ack)
 	resTab     *obs.ResourceTable // per-lock contention (hot-lock table)
 	acct       *obs.AccountTable  // per-principal lock-wait attribution
 	jr         *obs.Journal       // flight recorder (nil-safe)
@@ -128,9 +135,10 @@ func NewClerkWithCarrier(w *sim.World, machine, table string, servers []string, 
 		w:        w,
 		cfg:      cfg,
 		servers:  append([]string(nil), servers...),
-		locks:    make(map[uint64]*clkLock),
-		acks:     make(map[string]sim.Time),
-		shardVer: make(map[int]int64),
+		locks:     make(map[uint64]*clkLock),
+		acks:      make(map[string]sim.Time),
+		renewSent: make(map[string]sim.Time),
+		shardVer:  make(map[int]int64),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	c.sendCond = sync.NewCond(&c.mu)
@@ -143,6 +151,9 @@ func NewClerkWithCarrier(w *sim.World, machine, table string, servers []string, 
 		c.batchC = reg.Counter("lockservice.clerk.batches#" + machine)
 		c.batchOpsC = reg.Counter("lockservice.clerk.batched_ops#" + machine)
 		c.renewSkipC = reg.Counter("lockservice.renew.skipped#" + machine)
+		c.renewStdC = reg.Counter("lockservice.renew.standalone#" + machine)
+		c.renewPigC = reg.Counter("lockservice.renew.piggyback#" + machine)
+		c.renewElidC = reg.Counter("lockservice.renew.elided#" + machine)
 		c.resTab = reg.Resources("lockservice.locks")
 		c.acct = reg.Accounts()
 		c.jr = reg.Journal(machine)
@@ -621,17 +632,53 @@ func (c *Clerk) flushLocked(ops []sendOp) {
 		}
 		acqBySrv[srv] = append(acqBySrv[srv], BatchReq{Lock: op.lock, Mode: l.want, Epoch: l.epoch})
 	}
+	now := c.w.Clock.Now()
 	for _, srv := range order {
+		// Piggyback a lease renewal on the first batch of this drain
+		// when one is due for srv: busy clerks renew as a side effect
+		// of traffic they send anyway, keeping their standalone
+		// RenewMsg rate at zero (O(1)-in-N control chatter).
+		renew := c.opened && !c.leaseLost && c.renewDueLocked(srv, now)
 		if rels := relBySrv[srv]; len(rels) > 0 {
 			c.batchC.Inc()
 			c.batchOpsC.Add(int64(len(rels)))
-			_ = c.ep.Cast(Addr(srv), ReleaseBatch{Clerk: c.machine, Table: c.table, MapEpoch: mapEpoch, Rels: rels})
+			m := ReleaseBatch{Clerk: c.machine, Table: c.table, MapEpoch: mapEpoch, Rels: rels}
+			if renew {
+				m.Renew, m.LeaseID = true, c.leaseID
+				c.noteRenewSentLocked(srv, now, true)
+				renew = false
+			}
+			_ = c.ep.Cast(Addr(srv), m)
 		}
 		if reqs := acqBySrv[srv]; len(reqs) > 0 {
 			c.batchC.Inc()
 			c.batchOpsC.Add(int64(len(reqs)))
-			_ = c.ep.Cast(Addr(srv), AcquireBatch{Clerk: c.machine, Table: c.table, MapEpoch: mapEpoch, Reqs: reqs})
+			m := AcquireBatch{Clerk: c.machine, Table: c.table, MapEpoch: mapEpoch, Reqs: reqs}
+			if renew {
+				m.Renew, m.LeaseID = true, c.leaseID
+				c.noteRenewSentLocked(srv, now, true)
+			}
+			_ = c.ep.Cast(Addr(srv), m)
 		}
+	}
+}
+
+// renewDueLocked reports whether a renewal should ride on a batch to
+// srv: the last renewal we transmitted to it (standalone or
+// piggybacked) is at least half a renewal tick old. Piggybacking at
+// ~2x the standalone cadence keeps the server's ack fresh enough that
+// the renew() tick never needs a standalone call while traffic flows.
+func (c *Clerk) renewDueLocked(srv string, now sim.Time) bool {
+	return sim.Duration(now-c.renewSent[srv]) >= c.cfg.LeaseDuration/6
+}
+
+// noteRenewSentLocked records a transmitted renewal to srv.
+func (c *Clerk) noteRenewSentLocked(srv string, now sim.Time, piggyback bool) {
+	c.renewSent[srv] = now
+	if piggyback {
+		c.renewPigC.Inc()
+	} else {
+		c.renewStdC.Inc()
 	}
 }
 
@@ -734,8 +781,15 @@ func (c *Clerk) handle(from string, body any) any {
 	case RecoverReq:
 		c.onRecoverReq(m)
 	case RenewAck:
+		// Piggyback ack cast back by a lock server that saw our
+		// Renew-stamped batch. An ack for a dead session (Valid false)
+		// must NOT advance the lease arithmetic: the acks age out,
+		// standalone renewals resume, and the majority-invalid check
+		// there delivers the zombie verdict.
 		c.mu.Lock()
-		c.acks[m.Server] = c.w.Clock.Now()
+		if m.Valid && m.LeaseID == c.leaseID {
+			c.acks[m.Server] = c.w.Clock.Now()
+		}
 		c.noteNewEpochLocked(m.MapEpoch)
 		c.mu.Unlock()
 	}
@@ -943,6 +997,45 @@ func (c *Clerk) renew() {
 	if c.stateOK {
 		mapEpoch = c.state.Epoch
 	}
+	// Elide the standalone call to every server whose ack is fresh —
+	// a piggybacked renewal on recent batch traffic already advanced
+	// its slot in the lease arithmetic. A fresh ack is one younger
+	// than the renewal tick (LeaseDuration/3): even if it stops being
+	// refreshed the moment we skip, two more ticks fire before the
+	// lease can lapse, so safety is untouched. A fully busy clerk
+	// therefore sends ZERO standalone RenewMsg RPCs, and renewal load
+	// per lock server is O(1) in cluster size.
+	now := c.w.Clock.Now()
+	majority := len(c.servers)/2 + 1
+	var stale []string
+	freshCnt := 0
+	for _, s := range c.servers {
+		if sim.Duration(now-c.acks[s]) < c.cfg.LeaseDuration/3 {
+			freshCnt++
+			c.renewElidC.Inc()
+			continue
+		}
+		stale = append(stale, s)
+	}
+	// A stale minority does not make renewal urgent: expiry is the
+	// majority-rank ack, so while a majority is piggyback-fresh and
+	// more than half the lease window remains, the stragglers can
+	// wait for batch traffic to reach them — or for the majority
+	// itself to sag, which fans out on a later tick with two full
+	// ticks of headroom. Without this, one quiet machine-to-server
+	// pairing (a clerk that happens to send no batch to one server
+	// for a few seconds) costs a standalone RPC per tick, adding back
+	// a slice of the O(N) renewal fan-out piggybacking removes.
+	if len(stale) > 0 && freshCnt >= majority &&
+		c.expiresAtLocked() > int64(now)+int64(c.cfg.LeaseDuration/2) {
+		for range stale {
+			c.renewElidC.Inc()
+		}
+		stale = nil
+	}
+	for _, s := range stale {
+		c.noteRenewSentLocked(s, now, false)
+	}
 	c.mu.Unlock()
 	defer func() {
 		c.mu.Lock()
@@ -958,8 +1051,8 @@ func (c *Clerk) renew() {
 	// still record their acks (each goroutine updates c.acks before
 	// reporting, so acks counted here are visible to ExpiresAt below).
 	type result struct{ acked, invalid bool }
-	results := make(chan result, len(c.servers))
-	for _, s := range c.servers {
+	results := make(chan result, len(stale))
+	for _, s := range stale {
 		go func(s string) {
 			r, err := c.ep.Call(Addr(s), RenewMsg{Clerk: c.machine, LeaseID: lease, MapEpoch: mapEpoch}, c.cfg.LeaseDuration/3)
 			if err != nil {
@@ -981,9 +1074,10 @@ func (c *Clerk) renew() {
 			results <- result{}
 		}(s)
 	}
-	majority := len(c.servers)/2 + 1
-	acked, invalid := 0, 0
-	for done := 0; done < len(c.servers) && acked < majority && invalid < majority; done++ {
+	// Fresh (elided) servers count as acked: their renewal evidence
+	// is the piggyback ack already recorded in c.acks.
+	acked, invalid := freshCnt, 0
+	for done := 0; done < len(stale) && acked < majority && invalid < majority; done++ {
 		r := <-results
 		if r.acked {
 			acked++
@@ -1014,6 +1108,10 @@ func (c *Clerk) renew() {
 func (c *Clerk) ExpiresAt() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.expiresAtLocked()
+}
+
+func (c *Clerk) expiresAtLocked() int64 {
 	n := len(c.servers)
 	times := make([]sim.Time, 0, n)
 	for _, s := range c.servers {

@@ -22,7 +22,10 @@
 // per-shard-server AcquireBatch/ReleaseBatch messages carry many lock
 // operations in one network message, and lease renewal is one
 // RenewMsg per server (never per lock) with the shard-map epoch
-// piggybacked both ways.
+// piggybacked both ways. Busy clerks go further: renewals ride on the
+// batches themselves (AcquireBatch/ReleaseBatch.Renew), so a clerk
+// with traffic in flight sends zero standalone RenewMsg RPCs and the
+// per-server renewal load stays O(1) as the cluster grows.
 package lockservice
 
 import (
@@ -165,6 +168,13 @@ type (
 		Table    string
 		MapEpoch int64
 		Reqs     []BatchReq
+		// Renew, when set, doubles the batch as a lease renewal for
+		// LeaseID: a busy clerk rides its renewals on batch traffic it
+		// is sending anyway, so its standalone RenewMsg rate is O(1)
+		// in cluster size (zero while traffic flows). The server
+		// answers with a rate-limited RenewAck cast.
+		Renew   bool
+		LeaseID uint64
 	}
 	// BatchRel is one release/downgrade inside a ReleaseBatch; fields
 	// mirror RelMsg.
@@ -179,6 +189,9 @@ type (
 		Table    string
 		MapEpoch int64
 		Rels     []BatchRel
+		// Renew/LeaseID piggyback a lease renewal; see AcquireBatch.
+		Renew   bool
+		LeaseID uint64
 	}
 	// WrongShard rejects operations on locks the receiving server does
 	// not own: the clerk routed with a stale shard map. Epoch is the

@@ -1,0 +1,74 @@
+package lockservice
+
+import (
+	"testing"
+	"time"
+
+	"frangipani/internal/sim"
+)
+
+// TestBusyClerkRenewsViaPiggyback checks the big-N renewal contract:
+// a clerk whose lock batches already reach every server must keep its
+// lease alive from the RenewAcks riding on those batches alone, with
+// ZERO standalone renew RPCs — the per-clerk renewal fan-out is what
+// made lease traffic O(clients x servers) at scale.
+func TestBusyClerkRenewsViaPiggyback(t *testing.T) {
+	ls := newTestLS(t, 3)
+	c := ls.clerk(t, "wsb")
+
+	std := ls.w.Obs.Counter("lockservice.renew.standalone#wsb")
+	pig := ls.w.Obs.Counter("lockservice.renew.piggyback#wsb")
+	elid := ls.w.Obs.Counter("lockservice.renew.elided#wsb")
+
+	// Let Open's initial handshake settle before drawing the line.
+	ls.w.Clock.Sleep(time.Second)
+	std0 := std.Value()
+
+	// Busy clerk: acquire a fresh lock id every 200 ms (simulated)
+	// for 2.5 lease durations, so several renewal ticks elapse while
+	// batch traffic flows. The odd stride spreads ids across shards
+	// so every server sees batches within each ack window.
+	end := ls.w.Clock.Now() + sim.Time(5*ls.cfg.LeaseDuration/2)
+	id := uint64(1 << 20)
+	for ls.w.Clock.Now() < end {
+		if err := c.Lock(id, Exclusive); err != nil {
+			t.Fatalf("lock %d: %v", id, err)
+		}
+		c.Unlock(id)
+		id += 7919
+		ls.w.Clock.Sleep(200 * time.Millisecond)
+	}
+
+	if got := std.Value() - std0; got != 0 {
+		t.Fatalf("busy clerk sent %d standalone renew RPCs, want 0 (all piggybacked)", got)
+	}
+	if pig.Value() == 0 {
+		t.Fatal("no piggybacked renewals recorded on batch traffic")
+	}
+	if elid.Value() == 0 {
+		t.Fatal("no renewal ticks elided: ticks should find fresh piggyback acks")
+	}
+	if !c.LeaseValid(0) {
+		t.Fatal("lease expired despite continuous piggybacked renewal")
+	}
+}
+
+// TestIdleClerkStillRenewsStandalone is the piggyback scheme's
+// fallback: with no batch traffic carrying acks, the renewal tick
+// must keep sending real renew RPCs or the lease dies.
+func TestIdleClerkStillRenewsStandalone(t *testing.T) {
+	ls := newTestLS(t, 3)
+	c := ls.clerk(t, "wsi")
+
+	ls.w.Clock.Sleep(ls.cfg.LeaseDuration + ls.cfg.LeaseDuration/2)
+
+	if got := ls.w.Obs.Counter("lockservice.renew.standalone#wsi").Value(); got == 0 {
+		t.Fatal("idle clerk never sent a standalone renewal")
+	}
+	if !c.LeaseValid(0) {
+		t.Fatal("idle clerk's lease expired")
+	}
+	if c.LeaseLost() {
+		t.Fatal("idle clerk lost its lease")
+	}
+}

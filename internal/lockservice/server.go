@@ -113,6 +113,10 @@ type Server struct {
 	locks      map[lockKey]*lockState
 	pendingGrp map[int]*shardSync // shard -> in-progress handoff sync
 	renewals   map[string]sim.Time
+	// ackCast is the last time a piggyback RenewAck was cast to each
+	// clerk; acks are rate-limited so a clerk streaming batches gets
+	// O(1) ack traffic per lease window, not one ack per batch.
+	ackCast map[string]sim.Time
 	recoveries map[string]*recoveryJob // session key -> job
 	nextSeq    uint64
 	crashed    bool
@@ -122,6 +126,8 @@ type Server struct {
 	reqC             *obs.Counter
 	revC             *obs.Counter
 	wrongC           *obs.Counter
+	renewPigC        *obs.Counter // piggybacked renewals accepted
+	renewStdC        *obs.Counter // standalone RenewMsg served
 	locksG, memBytes *obs.Gauge
 	shardC           []*obs.Counter    // lazy per-shard op counters
 	acct             *obs.AccountTable // per-principal server-op attribution
@@ -161,6 +167,7 @@ func NewServerWithCarrier(w *sim.World, name string, peers []string, cfg Config,
 		locks:      make(map[lockKey]*lockState),
 		pendingGrp: make(map[int]*shardSync),
 		renewals:   make(map[string]sim.Time),
+		ackCast:    make(map[string]sim.Time),
 		recoveries: make(map[string]*recoveryJob),
 		cpu:        sim.NewResource(w.Clock, name+".lockcpu"),
 	}
@@ -169,6 +176,8 @@ func NewServerWithCarrier(w *sim.World, name string, peers []string, cfg Config,
 		s.reqC = reg.Counter("lockservice.server.requests#" + name)
 		s.revC = reg.Counter("lockservice.server.revokes#" + name)
 		s.wrongC = reg.Counter("lockservice.server.wrongshard#" + name)
+		s.renewPigC = reg.Counter("lockservice.server.renew.piggyback#" + name)
+		s.renewStdC = reg.Counter("lockservice.server.renew.standalone#" + name)
 		s.locksG = reg.Gauge("lockservice.server.locks#" + name)
 		s.memBytes = reg.Gauge("lockservice.server.bytes#" + name)
 		s.acct = reg.Accounts()
@@ -441,10 +450,17 @@ func (s *Server) handle(from string, body any) any {
 	case RelMsg:
 		s.onReleaseBatch(m.Clerk, m.Table, 0, []BatchRel{{Lock: m.Lock, NewMode: m.NewMode}})
 	case AcquireBatch:
+		if m.Renew {
+			s.piggyRenew(m.Clerk, m.LeaseID)
+		}
 		s.onAcquireBatch(m.Clerk, m.Table, m.MapEpoch, m.Reqs)
 	case ReleaseBatch:
+		if m.Renew {
+			s.piggyRenew(m.Clerk, m.LeaseID)
+		}
 		s.onReleaseBatch(m.Clerk, m.Table, m.MapEpoch, m.Rels)
 	case RenewMsg:
+		s.renewStdC.Inc()
 		s.mu.Lock()
 		s.renewals[m.Clerk] = s.w.Clock.Now()
 		valid := false
@@ -489,6 +505,40 @@ func (s *Server) lock(k lockKey) *lockState {
 		s.locks[k] = ls
 	}
 	return ls
+}
+
+// piggyRenew serves a lease renewal riding on a batch message: record
+// the renewal exactly as a standalone RenewMsg would, then cast a
+// RenewAck back — rate-limited per clerk, so a clerk streaming
+// batches costs O(1) ack messages per lease window instead of one
+// per batch. An invalid session (expired and recovered while the
+// clerk was stalled) is acked immediately and with Valid=false so the
+// zombie learns its fate without waiting out the limiter.
+func (s *Server) piggyRenew(clerk string, leaseID uint64) {
+	now := s.w.Clock.Now()
+	s.mu.Lock()
+	s.renewals[clerk] = now
+	valid := false
+	for _, sess := range s.state.Sessions {
+		if sess.Clerk == clerk && sess.LeaseID == leaseID && !sess.Dead {
+			valid = true
+			break
+		}
+	}
+	limit := s.cfg.LeaseDuration / 6
+	if limit <= 0 {
+		limit = DefaultLeaseDuration / 6
+	}
+	ack := !valid || sim.Duration(now-s.ackCast[clerk]) >= limit
+	if ack {
+		s.ackCast[clerk] = now
+	}
+	epoch := s.state.Epoch
+	s.mu.Unlock()
+	s.renewPigC.Inc()
+	if ack {
+		_ = s.ep.Cast(ClerkAddr(clerk), RenewAck{Server: s.name, LeaseID: leaseID, Valid: valid, MapEpoch: epoch})
+	}
 }
 
 // onAcquireBatch serves a vectored lock request: every lock we own is

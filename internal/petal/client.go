@@ -27,6 +27,13 @@ type Client struct {
 	mu      sync.Mutex
 	state   GlobalState
 	stateOK bool
+	// refreshWait single-flights state refreshes: concurrent callers
+	// wait on the in-flight probe instead of stampeding every server.
+	refreshWait chan struct{}
+	// refreshRR rotates the single-probe target so repeated refreshes
+	// sample different servers (a lagging server cannot pin us to a
+	// stale view forever).
+	refreshRR atomic.Uint64
 
 	// leaseInfo, when set, stamps writes with the holder's lease
 	// expiration and id so guarded Petal servers can reject writes
@@ -61,6 +68,14 @@ type Client struct {
 	readPrimary   *obs.Counter // first-choice read routings to the primary
 	readBackup    *obs.Counter // first-choice read routings to the backup
 	balancePct    *obs.Gauge   // percent of first-choice reads sent to the backup
+
+	// Control-plane refresh statistics: at big N the O(N) full-state
+	// sweep was itself a scaling cost, so the incremental path's hit
+	// rates are first-class observables.
+	refreshRPCs    *obs.Counter // StateReq calls issued
+	refreshSkipped *obs.Counter // refreshes short-circuited (version already advanced / coalesced)
+	refreshFanout  *obs.Counter // probe failures that forced a bounded fan-out
+	refreshUnch    *obs.Counter // probes answered Unchanged (no state shipped)
 
 	// infl tracks this client's outstanding data-path RPCs per server,
 	// the load signal for least-outstanding read routing.
@@ -139,10 +154,14 @@ func NewClientWithCarrier(w *sim.World, machine string, servers []string, carrie
 		readRPCs:      obs.NewCounter(),
 		readVRPCs:     obs.NewCounter(),
 		readVExtents:  obs.NewCounter(),
-		readPrimary:   obs.NewCounter(),
-		readBackup:    obs.NewCounter(),
-		balancePct:    obs.NewGauge(),
-		infl:          make(map[string]*obs.Gauge, len(servers)),
+		readPrimary:    obs.NewCounter(),
+		readBackup:     obs.NewCounter(),
+		balancePct:     obs.NewGauge(),
+		refreshRPCs:    obs.NewCounter(),
+		refreshSkipped: obs.NewCounter(),
+		refreshFanout:  obs.NewCounter(),
+		refreshUnch:    obs.NewCounter(),
+		infl:           make(map[string]*obs.Gauge, len(servers)),
 	}
 	c.balanceReads.Store(1)
 	if reg := w.Obs; reg != nil {
@@ -155,6 +174,10 @@ func NewClientWithCarrier(w *sim.World, machine string, servers []string, carrie
 		c.readPrimary = reg.Counter("petal.read.primary#" + machine)
 		c.readBackup = reg.Counter("petal.read.backup#" + machine)
 		c.balancePct = reg.Gauge("petal.read.balance.pct#" + machine)
+		c.refreshRPCs = reg.Counter("petal.refresh.rpcs#" + machine)
+		c.refreshSkipped = reg.Counter("petal.refresh.skipped#" + machine)
+		c.refreshFanout = reg.Counter("petal.refresh.fanout#" + machine)
+		c.refreshUnch = reg.Counter("petal.refresh.unchanged#" + machine)
 		for _, s := range servers {
 			c.infl[s] = reg.Gauge("petal.client.inflight#" + machine + "." + s)
 		}
@@ -208,34 +231,143 @@ func (c *Client) SetLeaseInfo(f func() (expireAt int64, leaseID uint64)) {
 // Close releases the client's endpoint.
 func (c *Client) Close() { c.ep.Close() }
 
-// refreshState pulls the global state, keeping the highest-version
-// view any answering server returns. Servers apply Paxos decisions
-// asynchronously, so a single probe could return a lagging view.
-func (c *Client) refreshState() error {
-	got := false
-	var best GlobalState
-	for _, s := range c.servers {
-		resp, err := c.ep.Call(DataAddr(s), StateReq{}, dataTimeout)
-		if err != nil {
-			continue
+// refreshState refreshes the routing view unconditionally (legacy
+// entry point; admin paths use it after mutating the directory).
+func (c *Client) refreshState() error { return c.refreshSince(-1) }
+
+// refreshSince refreshes the global-state view, version-aware and
+// incremental. usedVersion is the version the caller routed with when
+// it hit trouble (-1 for "just refresh"):
+//
+//   - If the cached view has already advanced past usedVersion —
+//     another caller refreshed first — skip the network entirely.
+//   - Concurrent refreshes coalesce onto one in-flight probe.
+//   - The probe itself asks ONE server (rotating round-robin) with
+//     HaveVersion, so the common answer is a tiny Unchanged reply;
+//     only a failed or unusable probe falls back to a bounded
+//     parallel fan-out over the remaining servers.
+//
+// The old implementation swept every server sequentially on every
+// refresh — an O(N) wall-clock and message cost per failover that
+// dominated control traffic at big N.
+func (c *Client) refreshSince(usedVersion int64) error {
+	c.mu.Lock()
+	for {
+		if c.stateOK && c.state.Version > usedVersion {
+			c.mu.Unlock()
+			c.refreshSkipped.Add(1)
+			return nil
 		}
+		ch := c.refreshWait
+		if ch == nil {
+			break
+		}
+		// A refresh is in flight: wait for it, then re-judge. The
+		// waiters coalesce rather than stampeding the servers.
+		c.mu.Unlock()
+		<-ch
+		c.mu.Lock()
+		if c.stateOK {
+			c.mu.Unlock()
+			c.refreshSkipped.Add(1)
+			return nil
+		}
+		// The in-flight refresh failed and we never had a view; fall
+		// through to run our own probe (refreshWait is nil again, or
+		// someone else started one and we wait again).
+	}
+	ch := make(chan struct{})
+	c.refreshWait = ch
+	have := int64(-1)
+	if c.stateOK {
+		have = c.state.Version
+	}
+	c.mu.Unlock()
+
+	err := c.doRefresh(have)
+
+	c.mu.Lock()
+	c.refreshWait = nil
+	c.mu.Unlock()
+	close(ch)
+	return err
+}
+
+// doRefresh runs one refresh: a single version-aware probe, then a
+// bounded fan-out only if the probe fails.
+func (c *Client) doRefresh(have int64) error {
+	n := len(c.servers)
+	if n == 0 {
+		return ErrUnavailable
+	}
+	probe := c.servers[int(c.refreshRR.Add(1)-1)%n]
+	c.refreshRPCs.Add(1)
+	resp, err := c.ep.Call(DataAddr(probe), StateReq{HaveVersion: have}, dataTimeout)
+	if err == nil {
 		if sr, ok := resp.(StateResp); ok && sr.OK {
-			if !got || sr.State.Version > best.Version {
-				best = sr.State
-				got = true
+			if sr.Unchanged {
+				// Server is no newer than us; nothing to adopt. Retry
+				// loops that still fail will rotate to other servers.
+				c.refreshUnch.Add(1)
+				return nil
 			}
+			c.adoptState(sr.State)
+			return nil
 		}
 	}
+	// Probe failed: bounded parallel fan-out over the remaining
+	// servers, adopting the best view any of them returns. Servers
+	// apply Paxos decisions asynchronously, so keeping the highest
+	// version guards against a lagging straggler.
+	c.refreshFanout.Add(1)
+	rest := make([]string, 0, n-1)
+	for _, s := range c.servers {
+		if s != probe {
+			rest = append(rest, s)
+		}
+	}
+	if len(rest) == 0 {
+		return ErrUnavailable
+	}
+	var rmu sync.Mutex
+	got, gotState := false, false
+	var best GlobalState
+	_ = boundedPar(4, rest, func(s string) error {
+		c.refreshRPCs.Add(1)
+		resp, err := c.ep.Call(DataAddr(s), StateReq{HaveVersion: have}, dataTimeout)
+		if err != nil {
+			return nil
+		}
+		sr, ok := resp.(StateResp)
+		if !ok || !sr.OK {
+			return nil
+		}
+		rmu.Lock()
+		got = true // a server current with us still counts as an answer
+		if !sr.Unchanged && (!gotState || sr.State.Version > best.Version) {
+			best = sr.State
+			gotState = true
+		}
+		rmu.Unlock()
+		return nil
+	})
 	if !got {
 		return ErrUnavailable
 	}
+	if gotState {
+		c.adoptState(best)
+	}
+	return nil
+}
+
+// adoptState installs a fetched view unless the cached one is newer.
+func (c *Client) adoptState(st GlobalState) {
 	c.mu.Lock()
-	if !c.stateOK || best.Version >= c.state.Version {
-		c.state = best
+	if !c.stateOK || st.Version >= c.state.Version {
+		c.state = st
 		c.stateOK = true
 	}
 	c.mu.Unlock()
-	return nil
 }
 
 func (c *Client) getState() (GlobalState, error) {
@@ -398,9 +530,11 @@ func (c *Client) readChunk(v VDiskID, chunk int64, off, length int, dst []byte) 
 	deadline := c.clock.Now() + sim.Time(c.opDeadline)
 	var lastErr error
 	var tl targetList
+	routedVer := int64(-1)
 	for attempt := 0; ; attempt++ {
 		st, err := c.getState()
 		if err == nil {
+			routedVer = st.Version
 			c.readTargets(&st, v, chunk, &tl)
 			for _, srv := range tl.list() {
 				c.readRPCs.Add(1)
@@ -443,7 +577,10 @@ func (c *Client) readChunk(v VDiskID, chunk int64, off, length int, dst []byte) 
 			}
 			return ErrUnavailable
 		}
-		_ = c.refreshState()
+		// Version-aware: if another caller already refreshed past the
+		// view we routed with, the retry reuses it without touching
+		// the network (petal.refresh.skipped counts these).
+		_ = c.refreshSince(routedVer)
 		c.retryPause(attempt, deadline)
 	}
 }
@@ -478,9 +615,11 @@ func (c *Client) writeChunkSnap(v VDiskID, chunk int64, off int, snap []byte, le
 	}
 	deadline := c.clock.Now() + sim.Time(c.opDeadline)
 	var tl targetList
+	routedVer := int64(-1)
 	for attempt := 0; ; attempt++ {
 		st, err := c.getState()
 		if err == nil {
+			routedVer = st.Version
 			// Stamp the epoch we are writing at so replicas lagging a
 			// snapshot wait for Paxos catch-up instead of writing into
 			// the frozen epoch.
@@ -522,7 +661,7 @@ func (c *Client) writeChunkSnap(v VDiskID, chunk int64, off int, snap []byte, le
 		if c.clock.Now() >= deadline {
 			return ErrUnavailable
 		}
-		_ = c.refreshState()
+		_ = c.refreshSince(routedVer)
 		c.retryPause(attempt, deadline)
 	}
 }
@@ -921,7 +1060,15 @@ func (c *Client) admin(cmd Command) error {
 		if !ar.OK {
 			return fmt.Errorf("petal admin: %s", ar.Err)
 		}
-		_ = c.refreshState()
+		// The command advanced the directory version: refresh past the
+		// view we held going in (skips if a rival refresh already did).
+		c.mu.Lock()
+		cur := int64(-1)
+		if c.stateOK {
+			cur = c.state.Version
+		}
+		c.mu.Unlock()
+		_ = c.refreshSince(cur)
 		return nil
 	}
 	return lastErr

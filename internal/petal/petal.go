@@ -202,11 +202,18 @@ type (
 		Err string
 	}
 	// StateReq asks a server for the current global state.
-	StateReq struct{}
-	// StateResp returns a copy of the global state.
+	// HaveVersion is the version the client already holds: a server
+	// whose state is no newer answers Unchanged instead of shipping
+	// the full directory, making routine refreshes O(1) on the wire.
+	StateReq struct{ HaveVersion int64 }
+	// StateResp returns a copy of the global state, or Unchanged when
+	// the server has nothing newer than the client's HaveVersion
+	// (Version echoes the server's current version in that case).
 	StateResp struct {
-		OK    bool
-		State GlobalState
+		OK        bool
+		Unchanged bool
+		Version   int64
+		State     GlobalState
 	}
 	// MissedListReq asks a partner which chunks the named server
 	// missed while it was down.

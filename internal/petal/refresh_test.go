@@ -1,0 +1,84 @@
+package petal
+
+import (
+	"testing"
+	"time"
+)
+
+// TestIncrementalRefresh pins the version-aware refresh contract that
+// keeps directory-state traffic off the O(N) path: refreshes for
+// versions the cache already covers cost zero RPCs, probes against an
+// unchanged server ship no state, and only a real version bump moves
+// the client forward.
+func TestIncrementalRefresh(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	c := tc.client
+
+	if err := c.CreateVDisk("v0"); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	ok, v := c.stateOK, c.state.Version
+	c.mu.Unlock()
+	if !ok || v <= 0 {
+		t.Fatalf("no global state adopted after admin op (version %d)", v)
+	}
+
+	// A refresh demanded for a view the cache already supersedes must
+	// short-circuit without touching the network.
+	rpc0 := c.refreshRPCs.Value()
+	skip0 := c.refreshSkipped.Value()
+	if err := c.refreshSince(v - 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.refreshRPCs.Value(); got != rpc0 {
+		t.Fatalf("satisfied-from-cache refresh issued %d RPCs", got-rpc0)
+	}
+	if got := c.refreshSkipped.Value(); got != skip0+1 {
+		t.Fatalf("refresh.skipped = %d, want %d", got, skip0+1)
+	}
+
+	// Demanding strictly newer than the cache forces a probe; no
+	// admin op has run, so the server answers Unchanged and the
+	// (potentially large at big N) state payload stays home.
+	unch0 := c.refreshUnch.Value()
+	rpc1 := c.refreshRPCs.Value()
+	if err := c.refreshSince(v); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.refreshRPCs.Value(); got != rpc1+1 {
+		t.Fatalf("probe issued %d RPCs, want 1", got-rpc1)
+	}
+	if got := c.refreshUnch.Value(); got != unch0+1 {
+		t.Fatalf("refresh.unchanged = %d, want %d", got, unch0+1)
+	}
+	c.mu.Lock()
+	v2 := c.state.Version
+	c.mu.Unlock()
+	if v2 != v {
+		t.Fatalf("Unchanged probe moved the cached version %d -> %d", v, v2)
+	}
+
+	// A real version bump must propagate. Servers apply Paxos
+	// decisions asynchronously, so poll: each refreshSince(v) probes
+	// (the cache is not past v) until some server ships the new view.
+	if err := c.CreateVDisk("v1"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		c.mu.Lock()
+		v3 := c.state.Version
+		c.mu.Unlock()
+		if v3 > v {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("version never advanced past %d after admin op", v)
+		}
+		if err := c.refreshSince(v); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

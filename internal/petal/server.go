@@ -229,9 +229,16 @@ func (s *Server) handle(from string, body any) any {
 		return s.onAdmin(m)
 	case StateReq:
 		s.mu.Lock()
+		if s.state.Version <= m.HaveVersion {
+			// Client is current: answer without cloning or shipping
+			// the directory (incremental refresh fast path).
+			v := s.state.Version
+			s.mu.Unlock()
+			return StateResp{OK: true, Unchanged: true, Version: v}
+		}
 		st := s.state.Clone()
 		s.mu.Unlock()
-		return StateResp{OK: true, State: st}
+		return StateResp{OK: true, Version: st.Version, State: st}
 	case MissedListReq:
 		s.mu.Lock()
 		var keys []chunkKey

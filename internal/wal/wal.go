@@ -97,6 +97,10 @@ type Log struct {
 	bufStart int64 // stream position of buf[0]
 	pending  []recSpan
 	reclaim  func(throughSeq int64)
+	// reclaiming single-flights the paced background reclaim kicked
+	// when occupancy crosses the high-water mark, so writers stop
+	// hitting the synchronous log-full wall in the first place.
+	reclaiming bool
 
 	// Group commit: at most one region write is in flight; concurrent
 	// Flush callers whose bytes it covers piggyback on it instead of
@@ -110,6 +114,8 @@ type Log struct {
 	flushes        *obs.Counter
 	wrote          *obs.Counter
 	groupMerges    *obs.Counter
+	asyncReclaims  *obs.Counter // paced reclaims kicked in the background
+	stallReclaims  *obs.Counter // appends that hit the synchronous log-full wall
 	maxFlushBlocks *obs.Gauge
 
 	// Observability; set once by SetObs before concurrent use, or
@@ -139,6 +145,8 @@ func New(region BlockRegion, size int64) *Log {
 		flushes:        obs.NewCounter(),
 		wrote:          obs.NewCounter(),
 		groupMerges:    obs.NewCounter(),
+		asyncReclaims:  obs.NewCounter(),
+		stallReclaims:  obs.NewCounter(),
 		maxFlushBlocks: obs.NewGauge(),
 	}
 }
@@ -156,6 +164,8 @@ func (l *Log) SetObs(reg *obs.Registry, instance string) {
 	l.flushes = reg.Counter("wal.flushes#" + instance)
 	l.wrote = reg.Counter("wal.wrote.bytes#" + instance)
 	l.groupMerges = reg.Counter("wal.groupcommit.merges#" + instance)
+	l.asyncReclaims = reg.Counter("wal.reclaim.async#" + instance)
+	l.stallReclaims = reg.Counter("wal.reclaim.stall#" + instance)
 	l.maxFlushBlocks = reg.Gauge("wal.flush.maxblocks#" + instance)
 	l.now = reg.Now
 	l.tr = reg.Tracer()
@@ -230,7 +240,10 @@ func (l *Log) Append(ups []Update) (int64, error) {
 		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, need)
 	}
 	for l.head+need-l.tail > l.streamCapacity() {
-		// Log full: reclaim the oldest quarter.
+		// Log full: reclaim the oldest quarter. This is the stall
+		// backstop — the paced background reclaim below aims to keep
+		// writers from ever reaching it.
+		l.stallReclaims.Inc()
 		target := l.tail + l.streamCapacity()/4
 		var through int64
 		for _, sp := range l.pending {
@@ -260,11 +273,49 @@ func (l *Log) Append(ups []Update) (int64, error) {
 	l.pending = append(l.pending, recSpan{seq: seq, start: l.head, end: l.head + need})
 	l.buf = append(l.buf, rec...)
 	l.head += need
+	l.maybeReclaimLocked()
 	if l.now != nil {
 		l.appendLat.Record(l.now() - start)
 	}
 	l.mu.Unlock()
 	return seq, nil
+}
+
+// maybeReclaimLocked paces log reclamation: when occupancy crosses
+// three quarters of capacity, kick ONE background reclaim of the
+// oldest quarter instead of waiting for the log to fill and stalling
+// the appender synchronously. At high server counts the synchronous
+// stalls serialize — every server's writers park behind its own
+// log-full flush at roughly the same fill rate — so reclaiming ahead
+// of the wall converts a stop-the-world pause into overlapped
+// background write-back. Caller holds l.mu.
+func (l *Log) maybeReclaimLocked() {
+	if l.reclaiming || l.reclaim == nil {
+		return
+	}
+	if l.head-l.tail <= l.streamCapacity()*3/4 {
+		return
+	}
+	target := l.tail + l.streamCapacity()/4
+	var through int64
+	for _, sp := range l.pending {
+		if sp.start < target {
+			through = sp.seq
+		}
+	}
+	if through == 0 {
+		return
+	}
+	l.reclaiming = true
+	l.asyncReclaims.Inc()
+	l.jr.Record("wal", "reclaim", "async", uint64(through), l.head-l.tail, "")
+	cb := l.reclaim
+	go func() {
+		cb(through)
+		l.mu.Lock()
+		l.reclaiming = false
+		l.mu.Unlock()
+	}()
 }
 
 func (l *Log) dropThroughLocked(pos int64) {
@@ -466,6 +517,11 @@ type Stats struct {
 	// GroupMerges counts Flush callers that piggybacked on another
 	// caller's in-flight write instead of issuing their own.
 	GroupMerges int64
+	// AsyncReclaims counts paced reclaims kicked in the background at
+	// the high-water mark; StallReclaims counts appends that still hit
+	// the synchronous log-full wall (the pacing's failure mode).
+	AsyncReclaims int64
+	StallReclaims int64
 	// MaxFlushBlocks is the largest single flush, in log blocks.
 	MaxFlushBlocks int64
 }
@@ -480,6 +536,8 @@ func (l *Log) Stats() Stats {
 		Flushes:        l.flushes.Value(),
 		BytesWritten:   l.wrote.Value(),
 		GroupMerges:    l.groupMerges.Value(),
+		AsyncReclaims:  l.asyncReclaims.Value(),
+		StallReclaims:  l.stallReclaims.Value(),
 		MaxFlushBlocks: l.maxFlushBlocks.Value(),
 	}
 }
